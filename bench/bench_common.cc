@@ -1,0 +1,27 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace vdba::bench {
+
+void PrintHeader(const std::string& artifact, const std::string& paper_says) {
+  std::printf("==============================================================\n");
+  std::printf("Reproducing: %s\n", artifact.c_str());
+  std::printf("Paper reports: %s\n", paper_says.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintFooter() { std::printf("-- done --\n\n"); }
+
+scenario::Testbed& SharedTestbed() {
+  static scenario::Testbed testbed;
+  return testbed;
+}
+
+std::vector<simvm::VmResources> CpuExperimentDefault(int n) {
+  return std::vector<simvm::VmResources>(
+      static_cast<size_t>(n),
+      simvm::VmResources{1.0 / n, SharedTestbed().CpuExperimentMemShare()});
+}
+
+}  // namespace vdba::bench

@@ -1,0 +1,29 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef VDBA_BENCH_BENCH_COMMON_H_
+#define VDBA_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "util/table_printer.h"
+
+namespace vdba::bench {
+
+/// Prints the standard bench banner: which paper artifact this harness
+/// regenerates and what the paper reported.
+void PrintHeader(const std::string& artifact, const std::string& paper_says);
+
+/// Prints a closing line (keeps bench outputs uniform and greppable).
+void PrintFooter();
+
+/// Lazily-constructed shared testbed (calibration happens once per bench
+/// process).
+scenario::Testbed& SharedTestbed();
+
+/// CPU-only experiment allocations: equal CPU, fixed experiment memory.
+std::vector<simvm::VmResources> CpuExperimentDefault(int n);
+
+}  // namespace vdba::bench
+
+#endif  // VDBA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,85 @@
+// Figures 9-10: shape of the objective function (sum of estimated costs of
+// two workloads) over the (cpu, mem) shares given to workload 1. Fig 9:
+// workloads NOT competing for CPU; Fig 10: both CPU-intensive. The paper's
+// point: the surface is smooth and concave, so greedy search works.
+#include <cstdio>
+
+#include "advisor/cost_estimator.h"
+#include "bench_common.h"
+#include "workload/tpch.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+namespace {
+
+void PrintSurface(advisor::WhatIfCostEstimator* est, const char* figure,
+                  const char* description) {
+  std::printf("--- %s: %s ---\n", figure, description);
+  std::printf("rows: W1 cpu share 10..90%%; cols: W1 mem share 10..90%%; "
+              "cell: total estimated seconds\n");
+  std::vector<std::string> header = {"cpu\\mem"};
+  for (double m = 0.1; m <= 0.91; m += 0.2) {
+    header.push_back(TablePrinter::Pct(m, 0));
+  }
+  TablePrinter t(header);
+  int local_minima = 0;
+  std::vector<std::vector<double>> grid;
+  for (double c = 0.1; c <= 0.91; c += 0.2) {
+    std::vector<std::string> row = {TablePrinter::Pct(c, 0)};
+    std::vector<double> grow;
+    for (double m = 0.1; m <= 0.91; m += 0.2) {
+      double total = est->EstimateSeconds(0, {c, m}) +
+                     est->EstimateSeconds(1, {1.0 - c, 1.0 - m});
+      row.push_back(TablePrinter::Num(total, 0));
+      grow.push_back(total);
+    }
+    t.AddRow(row);
+    grid.push_back(grow);
+  }
+  t.Print();
+  // Count strict interior local minima: a smooth concave-ish bowl has one.
+  for (size_t i = 1; i + 1 < grid.size(); ++i) {
+    for (size_t j = 1; j + 1 < grid[i].size(); ++j) {
+      if (grid[i][j] < grid[i - 1][j] && grid[i][j] < grid[i + 1][j] &&
+          grid[i][j] < grid[i][j - 1] && grid[i][j] < grid[i][j + 1]) {
+        ++local_minima;
+      }
+    }
+  }
+  std::printf("strict interior local minima on the grid: %d "
+              "(paper: smooth surface, greedy-friendly)\n\n",
+              local_minima);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figures 9-10 (objective-function shape)",
+              "smooth, concave objective for both non-competing and "
+              "CPU-competing workload pairs");
+  scenario::Testbed& tb = SharedTestbed();
+
+  // Fig 9: one CPU-intensive workload (Q18 units) vs one I/O-bound (Q21).
+  {
+    simdb::Workload w1, w2;
+    w1.AddStatement(workload::TpchQuery(tb.tpch_sf1(), 18), 5.0);
+    w2.AddStatement(workload::TpchQuery(tb.tpch_sf1(), 21), 15.0);
+    advisor::WhatIfCostEstimator est(
+        tb.machine(), {tb.MakeTenant(tb.pg_sf1(), w1),
+                       tb.MakeTenant(tb.pg_sf1(), w2)});
+    PrintSurface(&est, "Figure 9", "workloads not competing for CPU");
+  }
+  // Fig 10: both CPU-intensive.
+  {
+    simdb::Workload w1, w2;
+    w1.AddStatement(workload::TpchQuery(tb.tpch_sf1(), 18), 5.0);
+    w2.AddStatement(workload::TpchQuery(tb.tpch_sf1(), 1), 8.0);
+    advisor::WhatIfCostEstimator est(
+        tb.machine(), {tb.MakeTenant(tb.pg_sf1(), w1),
+                       tb.MakeTenant(tb.pg_sf1(), w2)});
+    PrintSurface(&est, "Figure 10", "workloads competing for CPU");
+  }
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figures 14-15: varying workload size AND resource intensity.
+// W3 = 1C (fixed), W4 = kC for k = 1..10. W4 grows more resource-hungry
+// with k, so it earns an increasing share; improvements are larger than in
+// Figs. 12-13 because the demand difference is larger.
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "workload/units.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+namespace {
+
+void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload unit_c = tb.CpuIntensiveUnit(engine, tb.tpch_sf1());
+
+  std::printf("--- %s (%s): W3 = 1C vs W4 = kC ---\n", figure,
+              engine.name().c_str());
+  TablePrinter t({"k", "W4 cpu share", "est improvement", "act improvement"});
+  for (int k = 1; k <= 10; ++k) {
+    simdb::Workload w3 = workload::MixUnits("W3", unit_c, 1, unit_c, 0);
+    simdb::Workload w4 = workload::MixUnits("W4", unit_c, k, unit_c, 0);
+    std::vector<advisor::Tenant> tenants = {tb.MakeTenant(engine, w3),
+                                            tb.MakeTenant(engine, w4)};
+    advisor::AdvisorOptions opts;
+    opts.enumerator.allocate_memory = false;
+    advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
+    advisor::GreedyEnumerator greedy(opts.enumerator);
+    auto init = CpuExperimentDefault(2);
+    auto res = greedy.Run(adv.estimator(), adv.QosList(), init);
+    double est_def = adv.EstimateTotalSeconds(init);
+    double est_rec = adv.EstimateTotalSeconds(res.allocations);
+    double act_def = tb.TrueTotalSeconds(tenants, init);
+    double act_rec = tb.TrueTotalSeconds(tenants, res.allocations);
+    t.AddRow({std::to_string(k),
+              TablePrinter::Pct(res.allocations[1].cpu_share, 0),
+              TablePrinter::Pct((est_def - est_rec) / est_def, 1),
+              TablePrinter::Pct((act_def - act_rec) / act_def, 1)});
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figures 14-15 (varying workload size and intensity)",
+              "equal shares at k=1; W4's share and the improvement grow "
+              "with k");
+  RunForEngine(SharedTestbed().db2_sf1(), "Figure 14");
+  RunForEngine(SharedTestbed().pg_sf1(), "Figure 15");
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figures 16-17: varying workload size but NOT resource intensity.
+// W5 = 1C (CPU-intensive), W6 = kI (long but I/O-bound). Length alone must
+// not buy CPU: W6 has to be several times W5's size before it reaches an
+// equal CPU share.
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "workload/units.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+namespace {
+
+void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload unit_c = tb.CpuIntensiveUnit(engine, tb.tpch_sf1());
+  simdb::Workload unit_i = tb.CpuLazyUnit(engine, tb.tpch_sf1());
+
+  std::printf("--- %s (%s): W5 = 1C vs W6 = kI ---\n", figure,
+              engine.name().c_str());
+  TablePrinter t({"k", "W6 cpu share", "W6 share of total size",
+                  "est improvement"});
+  for (int k = 1; k <= 10; ++k) {
+    simdb::Workload w5 = workload::MixUnits("W5", unit_c, 1, unit_i, 0);
+    simdb::Workload w6 = workload::MixUnits("W6", unit_i, k, unit_i, 0);
+    std::vector<advisor::Tenant> tenants = {tb.MakeTenant(engine, w5),
+                                            tb.MakeTenant(engine, w6)};
+    advisor::AdvisorOptions opts;
+    opts.enumerator.allocate_memory = false;
+    advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
+    advisor::GreedyEnumerator greedy(opts.enumerator);
+    auto init = CpuExperimentDefault(2);
+    auto res = greedy.Run(adv.estimator(), adv.QosList(), init);
+    double est_def = adv.EstimateTotalSeconds(init);
+    double est_rec = adv.EstimateTotalSeconds(res.allocations);
+    t.AddRow({std::to_string(k),
+              TablePrinter::Pct(res.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(static_cast<double>(k) / (k + 1), 0),
+              TablePrinter::Pct((est_def - est_rec) / est_def, 1)});
+  }
+  t.Print();
+  std::printf("(paper: W6 gets far less CPU than its length suggests)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figures 16-17 (size without intensity)",
+              "the long-but-I/O-bound W6 receives much less CPU than its "
+              "share of the total workload size");
+  RunForEngine(SharedTestbed().db2_sf1(), "Figure 16");
+  RunForEngine(SharedTestbed().pg_sf1(), "Figure 17");
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 18: sensitivity to workload memory needs (DB2, TPC-H SF10).
+// W7 = 5B + 5D (fixed), W8 = kB + (10-k)D, where B = Q7 (memory-
+// sensitive) and D = matched copies of Q16 (memory-insensitive). W8's
+// memory share grows with k; improvement is smallest when the mixes are
+// alike.
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "workload/units.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 18 (varying memory intensity, DB2 SF10)",
+              "W8's memory share grows with k; improvement dips to ~0 "
+              "around k=5 where the workloads are alike");
+  scenario::Testbed& tb = SharedTestbed();
+  const simdb::DbEngine& db2 = tb.db2_sf10();
+  simdb::Workload unit_b = tb.MemoryIntensiveUnit(tb.tpch_sf10());
+  simdb::Workload unit_d = tb.MemoryLazyUnit(db2, tb.tpch_sf10());
+  std::printf("unit B = 1 x Q7; unit D = %.0f x Q16 (matched at 100%% mem)\n",
+              unit_d.statements[0].frequency);
+
+  TablePrinter t({"k", "W8 mem share", "W8 cpu share", "est improvement",
+                  "act improvement"});
+  for (int k = 0; k <= 10; ++k) {
+    simdb::Workload w7 = workload::MixUnits("W7", unit_b, 5, unit_d, 5);
+    simdb::Workload w8 = workload::MixUnits("W8", unit_b, k, unit_d, 10 - k);
+    std::vector<advisor::Tenant> tenants = {tb.MakeTenant(db2, w7),
+                                            tb.MakeTenant(db2, w8)};
+    advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants);
+    advisor::Recommendation rec = adv.Recommend();
+    double act = tb.ActualImprovement(tenants, rec.allocations);
+    t.AddRow({std::to_string(k),
+              TablePrinter::Pct(rec.allocations[1].mem_share, 0),
+              TablePrinter::Pct(rec.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(rec.estimated_improvement, 1),
+              TablePrinter::Pct(act, 1)});
+  }
+  t.Print();
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 19: QoS degradation limits. Five identical workloads (1 C unit
+// each); W9's limit L9 sweeps 1.5 -> 4.5 while W10 keeps L10 = 2.5. At
+// L9 = 1.5 the constraint is unsatisfiable; elsewhere both limits hold, at
+// the cost of higher degradation for the unconstrained workloads.
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "workload/tpch.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 19 (degradation limits, DB2)",
+              "L9=1.5 unsatisfiable; for L9 in 2.5..4.5 both L9 and "
+              "L10=2.5 are met; unconstrained workloads degrade more");
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload unit = tb.CpuIntensiveUnit(tb.db2_sf1(), tb.tpch_sf1());
+
+  TablePrinter t({"L9", "deg W9", "deg W10", "deg W11..13 (avg)",
+                  "violations"});
+  for (double l9 : {1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5}) {
+    std::vector<advisor::Tenant> tenants;
+    for (int i = 0; i < 5; ++i) {
+      advisor::QosSpec qos;
+      if (i == 0) qos.degradation_limit = l9;
+      if (i == 1) qos.degradation_limit = 2.5;
+      tenants.push_back(tb.MakeTenant(tb.db2_sf1(), unit, qos));
+    }
+    advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants);
+    advisor::Recommendation rec = adv.Recommend();
+    auto degradation = [&](int i) {
+      double at = adv.estimator()->EstimateSeconds(i, rec.allocations[i]);
+      double full = adv.estimator()->EstimateSeconds(i, {1.0, 1.0});
+      return at / full;
+    };
+    double rest = (degradation(2) + degradation(3) + degradation(4)) / 3.0;
+    t.AddRow({TablePrinter::Num(l9, 1), TablePrinter::Num(degradation(0), 2),
+              TablePrinter::Num(degradation(1), 2),
+              TablePrinter::Num(rest, 2),
+              std::to_string(rec.violated_qos.size())});
+  }
+  t.Print();
+  PrintFooter();
+  return 0;
+}

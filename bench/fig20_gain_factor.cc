@@ -1,0 +1,44 @@
+// Figure 20: benefit gain factors. Five identical workloads; G9 sweeps
+// 1 -> 10 while G10 = 4 and the rest stay at 1. W10 is favored until
+// G9 >= ~5, after which W9 takes the largest CPU share; the remaining
+// workloads share the rest evenly.
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "workload/tpch.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Figure 20 (benefit gain factor, DB2)",
+              "W10 (G=4) favored for small G9; crossover near G9=5; "
+              "equal-G workloads split the remainder evenly");
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload unit = tb.CpuIntensiveUnit(tb.db2_sf1(), tb.tpch_sf1());
+
+  TablePrinter t({"G9", "cpu W9", "cpu W10", "cpu W11..13 (avg)"});
+  for (double g9 = 1.0; g9 <= 10.0; g9 += 1.0) {
+    std::vector<advisor::Tenant> tenants;
+    for (int i = 0; i < 5; ++i) {
+      advisor::QosSpec qos;
+      if (i == 0) qos.gain_factor = g9;
+      if (i == 1) qos.gain_factor = 4.0;
+      tenants.push_back(tb.MakeTenant(tb.db2_sf1(), unit, qos));
+    }
+    advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants);
+    advisor::Recommendation rec = adv.Recommend();
+    double rest = (rec.allocations[2].cpu_share +
+                   rec.allocations[3].cpu_share +
+                   rec.allocations[4].cpu_share) /
+                  3.0;
+    t.AddRow({TablePrinter::Num(g9, 0),
+              TablePrinter::Pct(rec.allocations[0].cpu_share, 0),
+              TablePrinter::Pct(rec.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(rest, 0)});
+  }
+  t.Print();
+  PrintFooter();
+  return 0;
+}

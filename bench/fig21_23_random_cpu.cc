@@ -1,0 +1,125 @@
+// Figures 21-23: CPU allocation for random workloads, N = 2..10.
+//  Fig 21: PostgreSQL TPC-H SF10 unit mixes (1 x Q17 or 66-copy modified
+//          Q18 units).
+//  Fig 22: DB2 TPC-C + TPC-H mixes.
+//  Fig 23: PostgreSQL TPC-C + TPC-H mixes.
+// The advisor identifies each workload's nature as it joins and keeps the
+// relative order of CPU shares stable.
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "workload/generator.h"
+#include "workload/units.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+namespace {
+
+/// Runs the advisor for the first n of `workloads` and prints one CPU-share
+/// row per N; checks relative-order stability across N.
+void SweepN(const std::vector<advisor::Tenant>& all_tenants,
+            const char* figure, const char* description) {
+  scenario::Testbed& tb = SharedTestbed();
+  std::printf("--- %s: %s ---\n", figure, description);
+  std::vector<std::string> header = {"N"};
+  for (size_t i = 0; i < all_tenants.size(); ++i) {
+    header.push_back("W" + std::to_string(i + 1));
+  }
+  TablePrinter t(header);
+  std::vector<std::vector<double>> shares_by_n;
+  for (int n = 2; n <= static_cast<int>(all_tenants.size()); ++n) {
+    std::vector<advisor::Tenant> tenants(all_tenants.begin(),
+                                         all_tenants.begin() + n);
+    advisor::AdvisorOptions opts;
+    opts.enumerator.allocate_memory = false;
+    advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
+    advisor::GreedyEnumerator greedy(opts.enumerator);
+    auto res =
+        greedy.Run(adv.estimator(), adv.QosList(), CpuExperimentDefault(n));
+    std::vector<std::string> row = {std::to_string(n)};
+    std::vector<double> shares;
+    for (int i = 0; i < static_cast<int>(all_tenants.size()); ++i) {
+      if (i < n) {
+        row.push_back(TablePrinter::Pct(res.allocations[i].cpu_share, 0));
+        shares.push_back(res.allocations[i].cpu_share);
+      } else {
+        row.push_back("-");
+      }
+    }
+    t.AddRow(row);
+    shares_by_n.push_back(shares);
+  }
+  t.Print();
+  // Relative-order stability: count order inversions between consecutive N.
+  int inversions = 0;
+  for (size_t n = 1; n < shares_by_n.size(); ++n) {
+    const auto& prev = shares_by_n[n - 1];
+    const auto& cur = shares_by_n[n];
+    for (size_t a = 0; a < prev.size(); ++a) {
+      for (size_t b = a + 1; b < prev.size(); ++b) {
+        if ((prev[a] - prev[b]) * (cur[a] - cur[b]) < -1e-12) ++inversions;
+      }
+    }
+  }
+  std::printf("relative-order inversions across N: %d (paper: order "
+              "maintained)\n\n",
+              inversions);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figures 21-23 (CPU allocation for random workloads)",
+              "the advisor identifies new workloads' natures as they join "
+              "and maintains the relative order of CPU shares");
+  scenario::Testbed& tb = SharedTestbed();
+  Rng rng(20080610);
+
+  // Figure 21: PG TPC-H SF10 unit mixes.
+  {
+    simdb::Workload q17_unit = workload::MakeRepeatedQueryWorkload(
+        "q17", workload::TpchQuery(tb.tpch_sf10(), 17), 1.0);
+    simdb::QuerySpec q18m = workload::TpchQuery18Modified(tb.tpch_sf10());
+    double copies = workload::CopiesToMatch(
+        tb.pg_sf10(), q18m, tb.CpuUnitEnv(),
+        scenario::Testbed::kCpuExperimentMemoryMb,
+        tb.hypervisor()->TrueWorkloadSeconds(
+            tb.pg_sf10(), q17_unit,
+            {1.0, tb.CpuExperimentMemShare()}));
+    simdb::Workload q18m_unit =
+        workload::MakeRepeatedQueryWorkload("q18m", q18m, copies);
+    workload::UnitMixOptions opts;
+    auto mixes = workload::MakeRandomUnitMixes(q17_unit, q18m_unit, opts,
+                                               &rng);
+    std::vector<advisor::Tenant> tenants;
+    for (auto& m : mixes) tenants.push_back(tb.MakeTenant(tb.pg_sf10(), m));
+    SweepN(tenants, "Figure 21", "PostgreSQL TPC-H SF10 unit mixes");
+  }
+  // Figures 22-23: TPC-C + TPC-H mixes on DB2 and PostgreSQL.
+  for (auto flavor : {simdb::EngineFlavor::kDb2,
+                      simdb::EngineFlavor::kPostgres}) {
+    auto set = workload::MakeTpccTpchMix(tb.tpcc(), tb.tpch_sf1(),
+                                         tb.tpch_sf10(), 5, 5, 40, &rng);
+    std::vector<advisor::Tenant> tenants;
+    for (size_t i = 0; i < set.workloads.size(); ++i) {
+      const simdb::DbEngine* engine;
+      if (flavor == simdb::EngineFlavor::kDb2) {
+        engine = set.is_oltp[i] ? &tb.db2_tpcc()
+                                : (i == 9 ? &tb.db2_sf10() : &tb.db2_sf1());
+      } else {
+        engine = set.is_oltp[i] ? &tb.pg_tpcc()
+                                : (i == 9 ? &tb.pg_sf10() : &tb.pg_sf1());
+      }
+      tenants.push_back(tb.MakeTenant(*engine, set.workloads[i]));
+    }
+    SweepN(tenants,
+           flavor == simdb::EngineFlavor::kDb2 ? "Figure 22" : "Figure 23",
+           flavor == simdb::EngineFlavor::kDb2
+               ? "DB2 TPC-C + TPC-H workloads"
+               : "PostgreSQL TPC-C + TPC-H workloads");
+  }
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figures 28-31: online refinement for TPC-C + TPC-H workloads (CPU only).
+// The optimizer cannot see TPC-C's contention/update CPU, so the initial
+// recommendation starves the OLTP tenants and actual improvement is
+// NEGATIVE. Refinement converges in a couple of iterations, restores their
+// CPU, and reaches near-optimal improvements (paper: up to 28% DB2 / 25%
+// PG).
+#include <cstdio>
+
+#include "advisor/exhaustive_enumerator.h"
+#include "advisor/refinement.h"
+#include "bench_common.h"
+#include "workload/generator.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+namespace {
+
+void RunForFlavor(simdb::EngineFlavor flavor, const char* figures) {
+  scenario::Testbed& tb = SharedTestbed();
+  Rng rng(20080610);
+  auto set = workload::MakeTpccTpchMix(tb.tpcc(), tb.tpch_sf1(),
+                                       tb.tpch_sf10(), 3, 3, 25, &rng);
+  bool db2 = flavor == simdb::EngineFlavor::kDb2;
+  std::printf("--- %s (%s): N TPC-C + TPC-H workloads ---\n", figures,
+              db2 ? "DB2" : "PostgreSQL");
+  TablePrinter t({"N", "tpcc cpu pre", "tpcc cpu post", "imp pre",
+                  "imp post", "imp optimal", "iters"});
+  for (int n = 2; n <= 6; n += 2) {
+    std::vector<advisor::Tenant> tenants;
+    // Interleave TPC-C and TPC-H workloads.
+    for (int i = 0; i < n; ++i) {
+      size_t idx = static_cast<size_t>(i / 2 + (i % 2 == 0 ? 0 : 3));
+      const simdb::DbEngine* engine =
+          set.is_oltp[idx] ? (db2 ? &tb.db2_tpcc() : &tb.pg_tpcc())
+                           : (db2 ? &tb.db2_sf1() : &tb.pg_sf1());
+      tenants.push_back(tb.MakeTenant(*engine, set.workloads[idx]));
+    }
+    advisor::AdvisorOptions opts;
+    opts.enumerator.allocate_memory = false;
+    advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
+    advisor::OnlineRefinement refine(&adv, tb.hypervisor());
+    advisor::RefinementResult res = refine.Run();
+
+    auto actual_total = [&](const std::vector<simvm::VmResources>& a) {
+      return tb.TrueTotalSeconds(tenants, a);
+    };
+    auto init = CpuExperimentDefault(n);
+    double t_def = actual_total(init);
+    double pre =
+        (t_def - actual_total(res.initial_allocations)) / t_def;
+    double post = (t_def - actual_total(res.final_allocations)) / t_def;
+    advisor::SearchResult best = advisor::LocalSearch(
+        {init, res.final_allocations}, actual_total, opts.enumerator);
+    double opt = (t_def - best.objective) / t_def;
+
+    // Average CPU share of the OLTP tenants (even indices).
+    double pre_cpu = 0.0, post_cpu = 0.0;
+    int oltp_count = 0;
+    for (int i = 0; i < n; i += 2) {
+      pre_cpu += res.initial_allocations[i].cpu_share;
+      post_cpu += res.final_allocations[i].cpu_share;
+      ++oltp_count;
+    }
+    pre_cpu /= oltp_count;
+    post_cpu /= oltp_count;
+    t.AddRow({std::to_string(n), TablePrinter::Pct(pre_cpu, 0),
+              TablePrinter::Pct(post_cpu, 0), TablePrinter::Pct(pre, 1),
+              TablePrinter::Pct(post, 1), TablePrinter::Pct(opt, 1),
+              std::to_string(res.iterations)});
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figures 28-31 (online refinement, TPC-C + TPC-H)",
+              "pre-refinement improvements NEGATIVE (OLTP starved); "
+              "refinement converges in <= 2-4 iterations to near-optimal; "
+              "paper: gains up to 28% (DB2) / 25% (PG)");
+  RunForFlavor(simdb::EngineFlavor::kDb2, "Figures 28 & 30");
+  RunForFlavor(simdb::EngineFlavor::kPostgres, "Figures 29 & 31");
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Tables II and III: the optimizer parameters the calibration procedure
+// produces for each engine, shown at several candidate allocations.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "simdb/cost_params.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Tables II & III (optimizer parameters)",
+              "PostgreSQL: random_page_cost, cpu_tuple_cost, "
+              "cpu_operator_cost, cpu_index_tuple_cost, shared_buffers, "
+              "work_mem, effective_cache_size; DB2: cpuspeed, overhead, "
+              "transfer_rate, sortheap, bufferpool");
+  scenario::Testbed& tb = SharedTestbed();
+
+  TablePrinter t({"engine", "cpu share", "vm memory", "calibrated parameters"});
+  for (double cpu : {0.25, 0.5, 1.0}) {
+    for (double mem_mb : {512.0, 4096.0}) {
+      t.AddRow({"PostgreSQL", TablePrinter::Pct(cpu, 0),
+                TablePrinter::Num(mem_mb, 0) + "MB",
+                simdb::ParamsToString(
+                    tb.pg_calibration().ParamsFor(cpu, mem_mb))});
+      t.AddRow({"DB2", TablePrinter::Pct(cpu, 0),
+                TablePrinter::Num(mem_mb, 0) + "MB",
+                simdb::ParamsToString(
+                    tb.db2_calibration().ParamsFor(cpu, mem_mb))});
+    }
+  }
+  t.Print();
+  std::printf(
+      "Renormalization: PostgreSQL %.6f s per sequential page fetch; "
+      "DB2 %.6f s per timeron\n",
+      tb.pg_calibration().seconds_per_native_unit(),
+      tb.db2_calibration().seconds_per_native_unit());
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Dynamic configuration management demo (§6): the workloads change at run
+// time — growing intensity (minor changes) and a full workload swap
+// between the VMs (major change). The manager classifies each change with
+// the per-query estimate metric and either keeps refining or rebuilds the
+// cost model.
+#include <cstdio>
+
+#include "advisor/dynamic_manager.h"
+#include "scenario/scenario.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+using namespace vdba;  // NOLINT
+
+int main() {
+  std::printf("== dynamic configuration management demo ==\n\n");
+  scenario::Testbed tb;
+
+  // Both tenants run the mixed DB2 instance (TPC-H and TPC-C databases in
+  // one DBMS), so workloads can migrate between VMs.
+  simdb::Workload tpcc =
+      workload::MakeTpccWorkload(tb.tpcc_mixed(), 12000, 100, 8);
+  auto tpch = [&](double units) {
+    simdb::Workload w;
+    w.name = "tpch";
+    w.AddStatement(workload::TpchQuery(tb.tpch_mixed(), 18), 10.0 + units);
+    return w;
+  };
+  std::vector<advisor::Tenant> tenants = {
+      tb.MakeTenant(tb.db2_mixed(), tpch(0)),
+      tb.MakeTenant(tb.db2_mixed(), tpcc)};
+  advisor::AdvisorOptions opts;
+  opts.enumerator.allocate_memory = false;
+  advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
+  advisor::DynamicConfigurationManager mgr(&adv, tb.hypervisor());
+  mgr.Initialize();
+  std::printf("initial allocation: vm1 %s, vm2 %s\n\n",
+              mgr.current_allocations()[0].ToString().c_str(),
+              mgr.current_allocations()[1].ToString().c_str());
+
+  std::printf("%-7s %-10s %-28s %-10s %-10s\n", "period", "event",
+              "change metric (vm1, vm2)", "class", "next vm1 cpu");
+  for (int period = 1; period <= 6; ++period) {
+    bool swapped = period >= 4;
+    std::vector<simdb::Workload> observed =
+        swapped ? std::vector<simdb::Workload>{tpcc, tpch(period)}
+                : std::vector<simdb::Workload>{tpch(period), tpcc};
+    advisor::PeriodResult r = mgr.EndPeriod(observed);
+    char metric[64];
+    std::snprintf(metric, sizeof(metric), "%.2f, %.2f", r.change_metric[0],
+                  r.change_metric[1]);
+    const char* klass = (r.major_change[0] || r.major_change[1])
+                            ? "MAJOR"
+                            : "minor";
+    std::printf("%-7d %-10s %-28s %-10s %s\n", period,
+                swapped && period == 4 ? "SWAP" : "+1 unit", metric, klass,
+                r.allocations[0].ToString().c_str());
+  }
+  std::printf("\nAfter the swap the manager discarded both cost models and "
+              "rebuilt them\nfrom fresh optimizer estimates (§6.2), so the "
+              "allocation follows the\nworkloads to their new homes.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "advisor/advisor.h"
+
+#include "util/check.h"
+
+namespace vdba::advisor {
+
+VirtualizationDesignAdvisor::VirtualizationDesignAdvisor(
+    const simvm::PhysicalMachine& machine, std::vector<Tenant> tenants,
+    AdvisorOptions options)
+    : machine_(machine),
+      options_(options),
+      estimator_(std::make_unique<WhatIfCostEstimator>(machine,
+                                                       std::move(tenants))) {}
+
+std::vector<QosSpec> VirtualizationDesignAdvisor::QosList() const {
+  std::vector<QosSpec> qos;
+  qos.reserve(estimator_->tenants().size());
+  for (const Tenant& t : estimator_->tenants()) qos.push_back(t.qos);
+  return qos;
+}
+
+Recommendation VirtualizationDesignAdvisor::Recommend() {
+  GreedyEnumerator greedy(options_.enumerator);
+  EnumerationResult res = greedy.Run(estimator_.get(), QosList());
+
+  Recommendation rec;
+  rec.allocations = res.allocations;
+  rec.estimated_seconds = res.tenant_costs;
+  rec.objective = res.objective;
+  rec.iterations = res.iterations;
+  rec.converged = res.converged;
+  rec.violated_qos = res.violated_qos;
+
+  double t_default =
+      EstimateTotalSeconds(DefaultAllocation(num_tenants()));
+  double t_advisor = 0.0;
+  for (double c : res.tenant_costs) t_advisor += c;
+  rec.estimated_improvement =
+      t_default > 0.0 ? (t_default - t_advisor) / t_default : 0.0;
+  return rec;
+}
+
+double VirtualizationDesignAdvisor::EstimateTotalSeconds(
+    const std::vector<simvm::VmResources>& alloc) {
+  VDBA_CHECK_EQ(static_cast<int>(alloc.size()), num_tenants());
+  double total = 0.0;
+  for (int i = 0; i < num_tenants(); ++i) {
+    total += estimator_->EstimateSeconds(i, alloc[static_cast<size_t>(i)]);
+  }
+  return total;
+}
+
+}  // namespace vdba::advisor

@@ -1,0 +1,69 @@
+// VirtualizationDesignAdvisor: the paper's top-level tool (§4, Figure 3).
+//
+// Wires the calibrated what-if cost estimator to the greedy configuration
+// enumerator and returns an initial static recommendation. Online
+// refinement (§5) and dynamic configuration management (§6) build on the
+// advisor through refinement.h / dynamic_manager.h.
+#ifndef VDBA_ADVISOR_ADVISOR_H_
+#define VDBA_ADVISOR_ADVISOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "advisor/cost_estimator.h"
+#include "advisor/greedy_enumerator.h"
+#include "advisor/tenant.h"
+#include "simvm/hardware.h"
+
+namespace vdba::advisor {
+
+/// Advisor configuration.
+struct AdvisorOptions {
+  EnumeratorOptions enumerator;
+};
+
+/// A static recommendation.
+struct Recommendation {
+  std::vector<simvm::VmResources> allocations;
+  /// Estimated per-tenant completion times at the recommendation.
+  std::vector<double> estimated_seconds;
+  /// Estimated objective (gain-weighted total seconds).
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  std::vector<int> violated_qos;
+  /// Estimated relative improvement over the default 1/N allocation,
+  /// using estimated costs: (T_default - T_advisor) / T_default.
+  double estimated_improvement = 0.0;
+};
+
+/// The design advisor. Owns the estimator (and with it the tenant list);
+/// does not own engines or calibration models.
+class VirtualizationDesignAdvisor {
+ public:
+  VirtualizationDesignAdvisor(const simvm::PhysicalMachine& machine,
+                              std::vector<Tenant> tenants,
+                              AdvisorOptions options = AdvisorOptions());
+
+  /// Initial static recommendation (§4): greedy enumeration over the
+  /// calibrated what-if estimator.
+  Recommendation Recommend();
+
+  /// Estimated total seconds at an arbitrary allocation (for baselines).
+  double EstimateTotalSeconds(const std::vector<simvm::VmResources>& alloc);
+
+  WhatIfCostEstimator* estimator() { return estimator_.get(); }
+  const simvm::PhysicalMachine& machine() const { return machine_; }
+  const AdvisorOptions& options() const { return options_; }
+  int num_tenants() const { return estimator_->num_tenants(); }
+  std::vector<QosSpec> QosList() const;
+
+ private:
+  simvm::PhysicalMachine machine_;
+  AdvisorOptions options_;
+  std::unique_ptr<WhatIfCostEstimator> estimator_;
+};
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_ADVISOR_H_

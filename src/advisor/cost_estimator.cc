@@ -1,0 +1,90 @@
+#include "advisor/cost_estimator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vdba::advisor {
+
+namespace {
+// Shares are quantized to 0.1% for caching; the enumerator moves in much
+// larger steps (default 5%).
+int Quantize(double share) { return static_cast<int>(std::lround(share * 1000.0)); }
+}  // namespace
+
+WhatIfCostEstimator::WhatIfCostEstimator(const simvm::PhysicalMachine& machine,
+                                         std::vector<Tenant> tenants)
+    : machine_(machine), tenants_(std::move(tenants)) {
+  VDBA_CHECK(!tenants_.empty());
+  for (const Tenant& t : tenants_) {
+    VDBA_CHECK(t.engine != nullptr);
+    VDBA_CHECK(t.calibration != nullptr);
+    VDBA_CHECK_EQ(static_cast<int>(t.engine->flavor()),
+                  static_cast<int>(t.calibration->flavor()));
+  }
+  observations_.resize(tenants_.size());
+}
+
+const WhatIfCostEstimator::CacheValue& WhatIfCostEstimator::Lookup(
+    int tenant, const simvm::VmResources& r) {
+  VDBA_CHECK_GE(tenant, 0);
+  VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
+  VDBA_CHECK_MSG(r.Valid(), "invalid allocation %s", r.ToString().c_str());
+
+  CacheKey key{tenant, Quantize(r.cpu_share), Quantize(r.mem_share)};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+
+  const Tenant& t = tenants_[static_cast<size_t>(tenant)];
+  simdb::EngineParams params =
+      t.calibration->ParamsFor(r.cpu_share, r.MemoryMb(machine_));
+  double total = 0.0;
+  std::string signature;
+  for (const auto& stmt : t.workload.statements) {
+    simdb::OptimizeResult opt = t.engine->WhatIfOptimize(stmt.query, params);
+    ++optimizer_calls_;
+    total += t.calibration->ToSeconds(opt.native_cost) * stmt.frequency;
+    signature += opt.signature;
+    signature += ';';
+  }
+
+  auto [pos, inserted] =
+      cache_.emplace(key, CacheValue{total, std::move(signature)});
+  VDBA_CHECK(inserted);
+  observations_[static_cast<size_t>(tenant)].push_back(
+      WhatIfObservation{r, total, pos->second.signature});
+  return pos->second;
+}
+
+double WhatIfCostEstimator::EstimateSeconds(int tenant,
+                                            const simvm::VmResources& r) {
+  return Lookup(tenant, r).est_seconds;
+}
+
+double WhatIfCostEstimator::EstimateWithSignature(int tenant,
+                                                  const simvm::VmResources& r,
+                                                  std::string* signature) {
+  const CacheValue& v = Lookup(tenant, r);
+  if (signature != nullptr) *signature = v.signature;
+  return v.est_seconds;
+}
+
+void WhatIfCostEstimator::SetWorkload(int tenant, simdb::Workload workload) {
+  VDBA_CHECK_GE(tenant, 0);
+  VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
+  tenants_[static_cast<size_t>(tenant)].workload = std::move(workload);
+  observations_[static_cast<size_t>(tenant)].clear();
+  // Drop the tenant's cache entries.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.tenant == tenant) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace vdba::advisor

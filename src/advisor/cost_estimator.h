@@ -1,0 +1,106 @@
+// Cost estimation for the configuration enumerator (§4.1).
+//
+// CostEstimator is the abstract interface the enumerators consume.
+// WhatIfCostEstimator implements it by driving each tenant's query
+// optimizer in what-if mode through the calibrated R -> P mapping, with a
+// per-(tenant, allocation) cache (the greedy search revisits allocations
+// constantly). Every estimate is also logged as an observation — the
+// (R, Est, plan-signature) stream from which online refinement later
+// derives its piecewise models (§5.1: "we use the candidate resource
+// allocations encountered during configuration enumeration to define the
+// A_ij intervals").
+#ifndef VDBA_ADVISOR_COST_ESTIMATOR_H_
+#define VDBA_ADVISOR_COST_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "advisor/tenant.h"
+#include "simvm/hardware.h"
+#include "simvm/vm.h"
+
+namespace vdba::advisor {
+
+/// Abstract estimator: seconds to complete tenant `tenant`'s workload
+/// under allocation `r`.
+class CostEstimator {
+ public:
+  virtual ~CostEstimator() = default;
+  virtual double EstimateSeconds(int tenant, const simvm::VmResources& r) = 0;
+  virtual int num_tenants() const = 0;
+};
+
+/// One logged what-if estimate.
+struct WhatIfObservation {
+  simvm::VmResources allocation;
+  double est_seconds = 0.0;
+  /// Concatenated plan signatures of all workload statements; a change in
+  /// this string marks a plan change (an A_ij interval boundary).
+  std::string plan_signature;
+};
+
+/// Calibrated what-if estimator over a set of tenants.
+class WhatIfCostEstimator : public CostEstimator {
+ public:
+  WhatIfCostEstimator(const simvm::PhysicalMachine& machine,
+                      std::vector<Tenant> tenants);
+
+  double EstimateSeconds(int tenant, const simvm::VmResources& r) override;
+  int num_tenants() const override {
+    return static_cast<int>(tenants_.size());
+  }
+
+  /// Estimate plus the plan signature under that allocation.
+  double EstimateWithSignature(int tenant, const simvm::VmResources& r,
+                               std::string* signature);
+
+  const std::vector<Tenant>& tenants() const { return tenants_; }
+  Tenant* mutable_tenant(int i) { return &tenants_[static_cast<size_t>(i)]; }
+
+  /// Replaces a tenant's workload (dynamic changes, §6) and invalidates
+  /// its cache and observation log.
+  void SetWorkload(int tenant, simdb::Workload workload);
+
+  /// Observation log for one tenant (insertion order).
+  const std::vector<WhatIfObservation>& observations(int tenant) const {
+    return observations_[static_cast<size_t>(tenant)];
+  }
+
+  /// Total optimizer invocations (per workload statement).
+  long optimizer_calls() const { return optimizer_calls_; }
+  /// Estimates served from cache.
+  long cache_hits() const { return cache_hits_; }
+
+ private:
+  struct CacheKey {
+    int tenant;
+    int cpu_q;  // quantized shares
+    int mem_q;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return static_cast<size_t>(k.tenant) * 1000003u +
+             static_cast<size_t>(k.cpu_q) * 10007u +
+             static_cast<size_t>(k.mem_q);
+    }
+  };
+  struct CacheValue {
+    double est_seconds;
+    std::string signature;
+  };
+
+  const CacheValue& Lookup(int tenant, const simvm::VmResources& r);
+
+  simvm::PhysicalMachine machine_;
+  std::vector<Tenant> tenants_;
+  std::vector<std::vector<WhatIfObservation>> observations_;
+  std::unordered_map<CacheKey, CacheValue, CacheKeyHash> cache_;
+  long optimizer_calls_ = 0;
+  long cache_hits_ = 0;
+};
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_COST_ESTIMATOR_H_

@@ -1,0 +1,103 @@
+// Dynamic configuration management (§6): react to run-time changes in the
+// workloads.
+//
+// At the end of each monitoring period, the manager compares the average
+// optimizer cost estimate per query of the observed workload against the
+// previous period (the relative-query-cost-estimate metric, §6.1). Changes
+// above theta are MAJOR: the refined cost model is discarded and rebuilt
+// from optimizer estimates, seeded with one refinement step from the
+// post-change observation. Minor changes continue online refinement,
+// guarded — when refinement has not yet converged — by the relative
+// modeling error E_ip (the "5% or decreasing" rule, §6.2).
+#ifndef VDBA_ADVISOR_DYNAMIC_MANAGER_H_
+#define VDBA_ADVISOR_DYNAMIC_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/fitted_cost_model.h"
+#include "simvm/hypervisor.h"
+
+namespace vdba::advisor {
+
+/// Re-allocation policy for the monitoring loop.
+enum class ReallocationPolicy {
+  /// Full §6 behaviour: classify changes, discard models on major changes.
+  kDynamic,
+  /// Baseline for Figs. 35-36: treat every change as minor and keep
+  /// refining the existing models.
+  kContinuousRefinement,
+};
+
+/// Dynamic-management knobs.
+struct DynamicOptions {
+  /// Major-change threshold on the per-query estimate metric (§6.1).
+  double theta = 0.10;
+  /// E_ip threshold of the continue-vs-discard rule (§6.2).
+  double error_threshold = 0.05;
+  ReallocationPolicy policy = ReallocationPolicy::kDynamic;
+};
+
+/// Outcome of one monitoring period.
+struct PeriodResult {
+  /// Allocations to deploy for the next period.
+  std::vector<simvm::VmResources> allocations;
+  /// Actual completion time of each observed workload in this period.
+  std::vector<double> actual_seconds;
+  /// Per-tenant relative change of the per-query estimate metric.
+  std::vector<double> change_metric;
+  /// Per-tenant classification.
+  std::vector<bool> major_change;
+  /// Per-tenant relative modeling error E_ip this period.
+  std::vector<double> relative_error;
+};
+
+/// The §6 monitoring/re-allocation loop.
+class DynamicConfigurationManager {
+ public:
+  DynamicConfigurationManager(VirtualizationDesignAdvisor* advisor,
+                              simvm::Hypervisor* hypervisor,
+                              DynamicOptions options = DynamicOptions());
+
+  /// Produces the initial deployment: static recommendation + model
+  /// construction (no refinement yet; refinement happens per period).
+  std::vector<simvm::VmResources> Initialize();
+
+  /// Ends monitoring period p: `observed` is the workload each tenant
+  /// actually executed during the period (may differ from the previous
+  /// period's). Measures the period, updates models per §6.2, and returns
+  /// the next period's allocations.
+  PeriodResult EndPeriod(const std::vector<simdb::Workload>& observed);
+
+  const std::vector<simvm::VmResources>& current_allocations() const {
+    return allocations_;
+  }
+
+ private:
+  /// Average optimizer cost estimate per query at the reference (default)
+  /// allocation — the §6.1 change metric's raw value.
+  double AvgEstimatePerQuery(int tenant);
+
+  /// Rebuilds tenant `i`'s model from fresh optimizer estimates after a
+  /// major change, seeding it with one Act/Est refinement step.
+  void RebuildModel(int tenant, double observed_actual,
+                    const simvm::VmResources& observed_at);
+
+  std::vector<simvm::VmResources> Enumerate();
+
+  VirtualizationDesignAdvisor* advisor_;
+  simvm::Hypervisor* hypervisor_;
+  DynamicOptions options_;
+
+  std::vector<std::unique_ptr<FittedCostModel>> models_;
+  std::vector<simvm::VmResources> allocations_;
+  std::vector<double> prev_metric_;
+  std::vector<double> prev_error_;
+  std::vector<bool> refinement_converged_;
+  bool initialized_ = false;
+};
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_DYNAMIC_MANAGER_H_

@@ -1,0 +1,147 @@
+#include "advisor/exhaustive_enumerator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vdba::advisor {
+
+namespace {
+
+/// Enumerates share vectors (v_1..v_n), each a multiple of `delta`, all
+/// >= min_share, summing to <= 1 + eps. Calls `emit` for each.
+void EnumerateShares(int n, double delta, double min_share,
+                     std::vector<double>* current,
+                     const std::function<void()>& emit) {
+  if (static_cast<int>(current->size()) == n) {
+    emit();
+    return;
+  }
+  double used = 0.0;
+  for (double v : *current) used += v;
+  int remaining = n - static_cast<int>(current->size());
+  // Leave enough for the remaining tenants to reach min_share each.
+  double max_here = 1.0 - used - min_share * (remaining - 1);
+  for (double v = min_share; v <= max_here + 1e-9; v += delta) {
+    current->push_back(v);
+    EnumerateShares(n, delta, min_share, current, emit);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
+                                        const EnumeratorOptions& options) {
+  if (n < 1) return Status::InvalidArgument("need at least one tenant");
+  if (n > 4) {
+    return Status::InvalidArgument(
+        "exhaustive search rejects N > 4 (use LocalSearch)");
+  }
+  SearchResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  std::vector<double> cpu_shares;
+  std::vector<double> mem_shares;
+  std::vector<std::vector<double>> cpu_options;
+  std::vector<std::vector<double>> mem_options;
+
+  // Collect all feasible share vectors per dimension first.
+  std::vector<double> scratch;
+  EnumerateShares(n, options.delta, options.min_share, &scratch, [&] {
+    cpu_options.push_back(scratch);
+  });
+  if (options.allocate_memory) {
+    mem_options = cpu_options;
+  } else {
+    mem_options.push_back(
+        std::vector<double>(static_cast<size_t>(n), 1.0 / n));
+  }
+  if (!options.allocate_cpu) {
+    cpu_options.clear();
+    cpu_options.push_back(
+        std::vector<double>(static_cast<size_t>(n), 1.0 / n));
+  }
+
+  std::vector<simvm::VmResources> alloc(static_cast<size_t>(n));
+  for (const auto& cpus : cpu_options) {
+    for (const auto& mems : mem_options) {
+      for (int i = 0; i < n; ++i) {
+        alloc[static_cast<size_t>(i)] = simvm::VmResources{
+            cpus[static_cast<size_t>(i)], mems[static_cast<size_t>(i)]};
+      }
+      double obj = f(alloc);
+      ++best.evaluations;
+      if (obj < best.objective) {
+        best.objective = obj;
+        best.allocations = alloc;
+      }
+    }
+  }
+  if (best.allocations.empty()) {
+    return Status::Infeasible("no feasible grid allocation");
+  }
+  return best;
+}
+
+SearchResult LocalSearch(
+    const std::vector<std::vector<simvm::VmResources>>& starts,
+    const AllocationObjective& f, const EnumeratorOptions& options) {
+  VDBA_CHECK(!starts.empty());
+  SearchResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  for (const auto& start : starts) {
+    std::vector<simvm::VmResources> current = start;
+    double current_obj = f(current);
+    ++best.evaluations;
+    bool improved = true;
+    int guard = 0;
+    while (improved && guard++ < options.max_iterations) {
+      improved = false;
+      const int n = static_cast<int>(current.size());
+      for (int dim = 0; dim < 2; ++dim) {
+        if (dim == 0 && !options.allocate_cpu) continue;
+        if (dim == 1 && !options.allocate_memory) continue;
+        for (int from = 0; from < n; ++from) {
+          for (int to = 0; to < n; ++to) {
+            if (from == to) continue;
+            auto get = [&](int i) {
+              return dim == 0 ? current[static_cast<size_t>(i)].cpu_share
+                              : current[static_cast<size_t>(i)].mem_share;
+            };
+            auto set = [&](int i, double v) {
+              if (dim == 0) {
+                current[static_cast<size_t>(i)].cpu_share = v;
+              } else {
+                current[static_cast<size_t>(i)].mem_share = v;
+              }
+            };
+            if (get(from) - options.delta < options.min_share - 1e-9) continue;
+            if (get(to) + options.delta > 1.0 + 1e-9) continue;
+            set(from, get(from) - options.delta);
+            set(to, std::min(1.0, get(to) + options.delta));
+            double obj = f(current);
+            ++best.evaluations;
+            if (obj + 1e-12 < current_obj) {
+              current_obj = obj;
+              improved = true;
+            } else {
+              // Revert.
+              set(to, get(to) - options.delta);
+              set(from, get(from) + options.delta);
+            }
+          }
+        }
+      }
+    }
+    if (current_obj < best.objective) {
+      best.objective = current_obj;
+      best.allocations = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace vdba::advisor

@@ -1,0 +1,48 @@
+// Exhaustive and local-search enumeration over the allocation simplex.
+//
+// The paper validates the greedy search against exhaustive enumeration
+// (§4.5: within 5%, usually optimal) and reports "optimal" actual
+// improvements found by exhaustively measuring every feasible allocation
+// (§7.6-7.7). The exhaustive enumerator works for small N; the local-search
+// optimizer extends the comparison to larger N (multi-start hill climbing
+// with the same delta moves), which EXPERIMENTS.md documents as the
+// stand-in for the paper's brute-force sweeps.
+#ifndef VDBA_ADVISOR_EXHAUSTIVE_ENUMERATOR_H_
+#define VDBA_ADVISOR_EXHAUSTIVE_ENUMERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "advisor/greedy_enumerator.h"
+#include "simvm/vm.h"
+#include "util/status.h"
+
+namespace vdba::advisor {
+
+/// Objective over a full allocation vector (total weighted cost; smaller is
+/// better). May be backed by estimates or by actual measurements.
+using AllocationObjective =
+    std::function<double(const std::vector<simvm::VmResources>&)>;
+
+/// Best allocation found plus its objective value.
+struct SearchResult {
+  std::vector<simvm::VmResources> allocations;
+  double objective = 0.0;
+  long evaluations = 0;
+};
+
+/// Enumerates every grid allocation (step = options.delta, shares >=
+/// options.min_share, sums <= 1 per resource) for N tenants and returns the
+/// minimum. Exponential in N; rejects N > 4.
+StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
+                                        const EnumeratorOptions& options);
+
+/// Multi-start hill climbing with single-delta moves (the same move set as
+/// the greedy enumerator) from `starts`; returns the best local optimum.
+SearchResult LocalSearch(const std::vector<std::vector<simvm::VmResources>>& starts,
+                         const AllocationObjective& f,
+                         const EnumeratorOptions& options);
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_EXHAUSTIVE_ENUMERATOR_H_

@@ -1,0 +1,166 @@
+#include "advisor/fitted_cost_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace vdba::advisor {
+
+namespace {
+
+std::vector<double> ToShares(const simvm::VmResources& r) {
+  return {r.cpu_share, r.mem_share};
+}
+
+/// Tiered hyperbolic fit: full (cpu+mem), cpu-only, mem-only, constant.
+HyperbolicModel FitTiered(const std::vector<std::vector<double>>& allocations,
+                          const std::vector<double>& costs) {
+  auto full = FitHyperbolic(allocations, costs);
+  if (full.ok()) return std::move(full.value());
+
+  for (int keep = 0; keep < 2; ++keep) {
+    std::vector<std::vector<double>> one_dim;
+    one_dim.reserve(allocations.size());
+    for (const auto& a : allocations) {
+      one_dim.push_back({a[static_cast<size_t>(keep)]});
+    }
+    auto fit = FitHyperbolic(one_dim, costs);
+    if (fit.ok()) {
+      HyperbolicModel m;
+      m.alphas = {0.0, 0.0};
+      m.alphas[static_cast<size_t>(keep)] = fit->alphas[0];
+      m.beta = fit->beta;
+      return m;
+    }
+  }
+  HyperbolicModel m;
+  m.alphas = {0.0, 0.0};
+  m.beta = Mean(costs);
+  return m;
+}
+
+}  // namespace
+
+FittedCostModel FittedCostModel::FromObservations(
+    const std::vector<WhatIfObservation>& observations) {
+  VDBA_CHECK(!observations.empty());
+
+  // Group observations by plan signature; each signature owns a memory
+  // interval [min mem, max mem] at which it was seen.
+  struct Group {
+    double lo = 1.0;
+    double hi = 0.0;
+    std::vector<std::vector<double>> allocations;
+    std::vector<double> costs;
+  };
+  std::map<std::string, Group> groups;
+  for (const WhatIfObservation& o : observations) {
+    Group& g = groups[o.plan_signature];
+    g.lo = std::min(g.lo, o.allocation.mem_share);
+    g.hi = std::max(g.hi, o.allocation.mem_share);
+    g.allocations.push_back(ToShares(o.allocation));
+    g.costs.push_back(o.est_seconds);
+  }
+
+  // Order groups by interval start and clamp overlaps so segments are
+  // disjoint and increasing (a signature seen only at scattered memory
+  // levels keeps its observations; only its boundary shrinks).
+  std::vector<Group*> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [sig, g] : groups) {
+    (void)sig;
+    ordered.push_back(&g);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Group* a, const Group* b) { return a->lo < b->lo; });
+
+  // Global fallback fit over every observation.
+  std::vector<std::vector<double>> all_alloc;
+  std::vector<double> all_costs;
+  for (const WhatIfObservation& o : observations) {
+    all_alloc.push_back(ToShares(o.allocation));
+    all_costs.push_back(o.est_seconds);
+  }
+  HyperbolicModel global = FitTiered(all_alloc, all_costs);
+
+  FittedCostModel model;
+  double prev_hi = 0.0;
+  std::string label;
+  int index = 0;
+  for (Group* g : ordered) {
+    PiecewiseSegment seg;
+    seg.lo = std::max(g->lo, prev_hi);
+    seg.hi = std::max(g->hi, seg.lo);
+    prev_hi = seg.hi;
+    seg.label = "plan-" + std::to_string(index++);
+    if (g->allocations.size() >= 4) {
+      seg.model = FitTiered(g->allocations, g->costs);
+    } else {
+      seg.model = global;
+    }
+    // A fit with a negative resource coefficient (possible on skewed
+    // samples) would tell the enumerator that taking resources away helps;
+    // clamp to the global model in that case.
+    if (seg.model.alphas[0] < 0.0 || seg.model.alphas[1] < 0.0) {
+      seg.model = global;
+    }
+    if (seg.model.alphas[0] < 0.0) seg.model.alphas[0] = 0.0;
+    if (seg.model.alphas[1] < 0.0) seg.model.alphas[1] = 0.0;
+    model.model_.AddSegment(std::move(seg));
+  }
+  model.actuals_.resize(model.model_.segments().size());
+  return model;
+}
+
+double FittedCostModel::Eval(const simvm::VmResources& r) const {
+  double v = model_.Eval(ToShares(r));
+  // Completion times are positive; a scaled/fitted model can dip negative
+  // far outside its observed range.
+  return v > 1e-6 ? v : 1e-6;
+}
+
+void FittedCostModel::ScaleAll(double factor) { model_.ScaleAll(factor); }
+
+void FittedCostModel::ScaleSegmentAt(double mem_share, double factor) {
+  model_.ScaleSegmentAt(mem_share, factor);
+}
+
+bool FittedCostModel::AddActualObservation(const simvm::VmResources& r,
+                                           double actual_seconds) {
+  size_t seg = model_.ResolveGapPoint(r.mem_share, ToShares(r),
+                                      actual_seconds);
+  SegmentObservations& obs = actuals_[seg];
+  obs.allocations.push_back(ToShares(r));
+  obs.costs.push_back(actual_seconds);
+  if (obs.allocations.size() < 3) return false;
+  // Enough actual observations: drop the optimizer-based coefficients and
+  // fit the interval from measurements alone (§5.1 second iteration rule).
+  auto fit = FitHyperbolic(obs.allocations, obs.costs);
+  if (!fit.ok()) return false;
+  if (fit->alphas[0] < 0.0 || fit->alphas[1] < 0.0) return false;
+  (*model_.mutable_segments())[seg].model = std::move(fit.value());
+  return true;
+}
+
+int FittedCostModel::ObservationsAt(double mem_share) const {
+  size_t seg = model_.SegmentIndexFor(mem_share);
+  return static_cast<int>(actuals_[seg].allocations.size());
+}
+
+ModelCostEstimator::ModelCostEstimator(
+    std::vector<const FittedCostModel*> models, CostEstimator* fallback)
+    : models_(std::move(models)), fallback_(fallback) {
+  VDBA_CHECK(!models_.empty());
+}
+
+double ModelCostEstimator::EstimateSeconds(int tenant,
+                                           const simvm::VmResources& r) {
+  const FittedCostModel* m = models_[static_cast<size_t>(tenant)];
+  if (m != nullptr) return m->Eval(r);
+  VDBA_CHECK(fallback_ != nullptr);
+  return fallback_->EstimateSeconds(tenant, r);
+}
+
+}  // namespace vdba::advisor

@@ -1,0 +1,86 @@
+// Fitted per-workload cost models for online refinement (§5).
+//
+// Cost(W, R) = sum_j alpha_jk / r_j + beta_k for r_mem in interval A_k,
+// where the intervals A_k are delimited by query-plan changes observed
+// during configuration enumeration (no extra optimizer calls). Models are
+// initialized by regression over the what-if estimates, then refined
+// against actual run times: scaled by Act/Est per iteration, and refit by
+// regression on actual observations alone once an interval has enough of
+// them (§5.1-5.2).
+#ifndef VDBA_ADVISOR_FITTED_COST_MODEL_H_
+#define VDBA_ADVISOR_FITTED_COST_MODEL_H_
+
+#include <vector>
+
+#include "advisor/cost_estimator.h"
+#include "simvm/vm.h"
+#include "util/piecewise.h"
+
+namespace vdba::advisor {
+
+/// Piecewise (over memory) hyperbolic (over 1/share) cost model of one
+/// workload.
+class FittedCostModel {
+ public:
+  /// Builds the initial model from the estimator's what-if observation log.
+  /// Intervals come from plan-signature changes along the memory dimension;
+  /// coefficients from least squares on the estimates within each interval
+  /// (falling back to a global fit when an interval is data-poor).
+  static FittedCostModel FromObservations(
+      const std::vector<WhatIfObservation>& observations);
+
+  /// Model estimate at an allocation.
+  double Eval(const simvm::VmResources& r) const;
+
+  /// First-iteration refinement: scale every interval by Act/Est (§5.1:
+  /// optimizer bias is assumed consistent across intervals).
+  void ScaleAll(double factor);
+
+  /// Later iterations: scale only the interval covering `mem_share`.
+  void ScaleSegmentAt(double mem_share, double factor);
+
+  /// Records an actual cost observation. When the covering interval has
+  /// accumulated >= 3 observations (enough for alpha_cpu, alpha_mem, beta),
+  /// the interval is refit from actual observations alone, discarding the
+  /// optimizer-derived coefficients; returns true if a refit happened.
+  /// Gap allocations (between known intervals) are assigned to the interval
+  /// whose estimate is closest to the observed cost (§5.1).
+  bool AddActualObservation(const simvm::VmResources& r,
+                            double actual_seconds);
+
+  /// Number of actual observations recorded in the interval covering
+  /// `mem_share`.
+  int ObservationsAt(double mem_share) const;
+
+  size_t num_segments() const { return model_.segments().size(); }
+  const PiecewiseHyperbolicModel& piecewise() const { return model_; }
+
+ private:
+  struct SegmentObservations {
+    std::vector<std::vector<double>> allocations;
+    std::vector<double> costs;
+  };
+
+  PiecewiseHyperbolicModel model_{/*piecewise_dim=*/1};
+  std::vector<SegmentObservations> actuals_;
+};
+
+/// CostEstimator backed by fitted models; tenants whose model pointer is
+/// null fall through to `fallback` (used by dynamic management when some
+/// tenants' models were discarded after a major workload change).
+class ModelCostEstimator : public CostEstimator {
+ public:
+  ModelCostEstimator(std::vector<const FittedCostModel*> models,
+                     CostEstimator* fallback = nullptr);
+
+  double EstimateSeconds(int tenant, const simvm::VmResources& r) override;
+  int num_tenants() const override { return static_cast<int>(models_.size()); }
+
+ private:
+  std::vector<const FittedCostModel*> models_;
+  CostEstimator* fallback_;
+};
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_FITTED_COST_MODEL_H_

@@ -1,0 +1,223 @@
+#include "advisor/greedy_enumerator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vdba::advisor {
+
+namespace {
+
+double GetShare(const simvm::VmResources& r, int dim) {
+  return dim == 0 ? r.cpu_share : r.mem_share;
+}
+
+void SetShare(simvm::VmResources* r, int dim, double v) {
+  if (dim == 0) {
+    r->cpu_share = v;
+  } else {
+    r->mem_share = v;
+  }
+}
+
+}  // namespace
+
+std::vector<simvm::VmResources> DefaultAllocation(int n) {
+  VDBA_CHECK_GT(n, 0);
+  double share = 1.0 / n;
+  return std::vector<simvm::VmResources>(
+      static_cast<size_t>(n), simvm::VmResources{share, share});
+}
+
+EnumerationResult GreedyEnumerator::Run(
+    CostEstimator* estimator, const std::vector<QosSpec>& qos,
+    std::vector<simvm::VmResources> initial) const {
+  const int n = estimator->num_tenants();
+  VDBA_CHECK_EQ(static_cast<size_t>(n), qos.size());
+  const double delta = options_.delta;
+  VDBA_CHECK_GT(delta, 0.0);
+
+  EnumerationResult result;
+  result.allocations = initial.empty() ? DefaultAllocation(n)
+                                       : std::move(initial);
+  VDBA_CHECK_EQ(result.allocations.size(), static_cast<size_t>(n));
+
+  // Full-allocation costs for degradation limits (Cost(W_i,[1,...,1])).
+  std::vector<double> full_cost(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    full_cost[static_cast<size_t>(i)] =
+        estimator->EstimateSeconds(i, simvm::VmResources{1.0, 1.0});
+  }
+  auto satisfies_limit = [&](int i, double unweighted_cost) {
+    const QosSpec& q = qos[static_cast<size_t>(i)];
+    if (!q.Constrained()) return true;
+    return unweighted_cost <=
+           q.degradation_limit * full_cost[static_cast<size_t>(i)];
+  };
+
+  // Current weighted costs C_i.
+  std::vector<double> cost(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    cost[static_cast<size_t>(i)] =
+        qos[static_cast<size_t>(i)].gain_factor *
+        estimator->EstimateSeconds(i, result.allocations[static_cast<size_t>(i)]);
+  }
+
+  const int dims[] = {0, 1};
+  bool done = false;
+  while (!done && result.iterations < options_.max_iterations) {
+    ++result.iterations;
+    double max_diff = 0.0;
+    int best_gain_tenant = -1, best_lose_tenant = -1, best_dim = -1;
+    double best_gain_cost = 0.0, best_lose_cost = 0.0;
+
+    for (int dim : dims) {
+      if (dim == 0 && !options_.allocate_cpu) continue;
+      if (dim == 1 && !options_.allocate_memory) continue;
+
+      // Who benefits most from +delta of resource `dim`?
+      double max_gain = 0.0;
+      int i_gain = -1;
+      double gain_cost = 0.0;
+      // Who suffers least from -delta?
+      double min_loss = std::numeric_limits<double>::infinity();
+      int i_lose = -1;
+      double lose_cost = 0.0;
+
+      for (int i = 0; i < n; ++i) {
+        const simvm::VmResources& r = result.allocations[static_cast<size_t>(i)];
+        const QosSpec& q = qos[static_cast<size_t>(i)];
+        double share = GetShare(r, dim);
+
+        if (share + delta <= 1.0 + 1e-9) {
+          simvm::VmResources up = r;
+          SetShare(&up, dim, std::min(1.0, share + delta));
+          double c_up = q.gain_factor * estimator->EstimateSeconds(i, up);
+          double gain = cost[static_cast<size_t>(i)] - c_up;
+          if (gain > max_gain) {
+            max_gain = gain;
+            i_gain = i;
+            gain_cost = c_up;
+          }
+        }
+        if (share - delta >= options_.min_share - 1e-9) {
+          simvm::VmResources down = r;
+          SetShare(&down, dim, share - delta);
+          double unweighted = estimator->EstimateSeconds(i, down);
+          double c_down = q.gain_factor * unweighted;
+          double loss = c_down - cost[static_cast<size_t>(i)];
+          if (loss < min_loss && satisfies_limit(i, unweighted)) {
+            min_loss = loss;
+            i_lose = i;
+            lose_cost = c_down;
+          }
+        }
+      }
+
+      if (i_gain >= 0 && i_lose >= 0 && i_gain != i_lose &&
+          max_gain - min_loss > max_diff) {
+        max_diff = max_gain - min_loss;
+        best_gain_tenant = i_gain;
+        best_lose_tenant = i_lose;
+        best_dim = dim;
+        best_gain_cost = gain_cost;
+        best_lose_cost = lose_cost;
+      }
+    }
+
+    if (max_diff > 1e-12 && best_dim >= 0) {
+      simvm::VmResources& gain_r =
+          result.allocations[static_cast<size_t>(best_gain_tenant)];
+      simvm::VmResources& lose_r =
+          result.allocations[static_cast<size_t>(best_lose_tenant)];
+      SetShare(&gain_r, best_dim,
+               std::min(1.0, GetShare(gain_r, best_dim) + delta));
+      SetShare(&lose_r, best_dim, GetShare(lose_r, best_dim) - delta);
+      cost[static_cast<size_t>(best_gain_tenant)] = best_gain_cost;
+      cost[static_cast<size_t>(best_lose_tenant)] = best_lose_cost;
+    } else {
+      done = true;
+    }
+  }
+  result.converged = done;
+
+  // Feasibility restoration. Figure 11's moves only *constrain removals*
+  // from QoS-limited workloads, which cannot satisfy a limit that the
+  // equal-shares starting point already violates — yet the paper's Fig. 19
+  // meets limits well below the default degradation. We therefore push
+  // resources toward violating workloads, taking delta from the donor that
+  // suffers least (and stays within its own limit), until every limit
+  // holds or no legal move remains.
+  for (int guard = 0; guard < options_.max_iterations; ++guard) {
+    int violator = -1;
+    double worst = 1.0 + 1e-9;
+    for (int i = 0; i < n; ++i) {
+      const QosSpec& q = qos[static_cast<size_t>(i)];
+      if (!q.Constrained()) continue;
+      double unweighted =
+          estimator->EstimateSeconds(i, result.allocations[static_cast<size_t>(i)]);
+      double ratio = unweighted /
+                     (q.degradation_limit * full_cost[static_cast<size_t>(i)]);
+      if (ratio > worst) {
+        worst = ratio;
+        violator = i;
+      }
+    }
+    if (violator < 0) break;
+
+    // Best (dim, donor): the violator's largest gain against the donor's
+    // smallest loss.
+    int best_dim = -1, best_donor = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    const simvm::VmResources& rv =
+        result.allocations[static_cast<size_t>(violator)];
+    for (int dim : dims) {
+      if (dim == 0 && !options_.allocate_cpu) continue;
+      if (dim == 1 && !options_.allocate_memory) continue;
+      if (GetShare(rv, dim) + delta > 1.0 + 1e-9) continue;
+      simvm::VmResources up = rv;
+      SetShare(&up, dim, std::min(1.0, GetShare(rv, dim) + delta));
+      double gain = estimator->EstimateSeconds(violator, rv) -
+                    estimator->EstimateSeconds(violator, up);
+      for (int i = 0; i < n; ++i) {
+        if (i == violator) continue;
+        const simvm::VmResources& ri =
+            result.allocations[static_cast<size_t>(i)];
+        if (GetShare(ri, dim) - delta < options_.min_share - 1e-9) continue;
+        simvm::VmResources down = ri;
+        SetShare(&down, dim, GetShare(ri, dim) - delta);
+        double donor_cost = estimator->EstimateSeconds(i, down);
+        if (!satisfies_limit(i, donor_cost)) continue;
+        double loss = donor_cost - estimator->EstimateSeconds(i, ri);
+        if (gain - loss > best_score) {
+          best_score = gain - loss;
+          best_dim = dim;
+          best_donor = i;
+        }
+      }
+    }
+    if (best_dim < 0) break;  // no legal move; violations stand
+    simvm::VmResources& gain_r =
+        result.allocations[static_cast<size_t>(violator)];
+    simvm::VmResources& lose_r =
+        result.allocations[static_cast<size_t>(best_donor)];
+    SetShare(&gain_r, best_dim,
+             std::min(1.0, GetShare(gain_r, best_dim) + delta));
+    SetShare(&lose_r, best_dim, GetShare(lose_r, best_dim) - delta);
+    ++result.iterations;
+  }
+
+  result.objective = 0.0;
+  result.tenant_costs.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double unweighted =
+        estimator->EstimateSeconds(i, result.allocations[static_cast<size_t>(i)]);
+    result.tenant_costs[static_cast<size_t>(i)] = unweighted;
+    result.objective += qos[static_cast<size_t>(i)].gain_factor * unweighted;
+    if (!satisfies_limit(i, unweighted)) result.violated_qos.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace vdba::advisor

@@ -1,0 +1,71 @@
+// Greedy configuration enumeration (paper §4.5, Figure 11).
+//
+// Starts from equal 1/N shares and repeatedly shifts a delta share of one
+// resource from the workload that suffers least to the workload that gains
+// most, subject to per-workload degradation limits; gain factors G_i weight
+// the gains/losses. Terminates when no beneficial move exists.
+#ifndef VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
+#define VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
+
+#include <vector>
+
+#include "advisor/cost_estimator.h"
+#include "advisor/qos.h"
+#include "simvm/vm.h"
+
+namespace vdba::advisor {
+
+/// Knobs of the enumeration (and of the allocation moves in general).
+struct EnumeratorOptions {
+  /// Share moved per iteration (the paper's delta; default 5%).
+  double delta = 0.05;
+  /// A VM cannot drop below this share of any allocated resource (a VM
+  /// with 0% CPU or memory cannot run at all).
+  double min_share = 0.05;
+  /// Hard cap on iterations (the paper observed convergence in <= 8).
+  int max_iterations = 200;
+  /// Dimensions under the advisor's control. CPU-only experiments (§7.3,
+  /// §7.6) fix memory and set allocate_memory = false.
+  bool allocate_cpu = true;
+  bool allocate_memory = true;
+};
+
+/// Result of one enumeration run.
+struct EnumerationResult {
+  std::vector<simvm::VmResources> allocations;
+  /// Objective value: sum_i G_i * Cost(W_i, R_i), in estimated seconds.
+  double objective = 0.0;
+  /// Unweighted per-tenant estimated costs at the final allocation.
+  std::vector<double> tenant_costs;
+  int iterations = 0;
+  bool converged = false;
+  /// Tenants whose degradation limit could not be satisfied (best-effort
+  /// allocation still returned).
+  std::vector<int> violated_qos;
+};
+
+/// Figure-11 greedy search.
+class GreedyEnumerator {
+ public:
+  explicit GreedyEnumerator(EnumeratorOptions options = EnumeratorOptions())
+      : options_(options) {}
+
+  /// Runs the search. `qos[i]` applies to tenant i; `initial` overrides the
+  /// default equal-shares starting point (pass empty for 1/N).
+  EnumerationResult Run(CostEstimator* estimator,
+                        const std::vector<QosSpec>& qos,
+                        std::vector<simvm::VmResources> initial = {}) const;
+
+  const EnumeratorOptions& options() const { return options_; }
+
+ private:
+  EnumeratorOptions options_;
+};
+
+/// Equal 1/N shares for N tenants (the paper's default allocation, which
+/// every experiment uses as the performance baseline).
+std::vector<simvm::VmResources> DefaultAllocation(int n);
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_GREEDY_ENUMERATOR_H_

@@ -1,0 +1,26 @@
+// Per-workload quality-of-service settings (§3).
+#ifndef VDBA_ADVISOR_QOS_H_
+#define VDBA_ADVISOR_QOS_H_
+
+#include <limits>
+
+namespace vdba::advisor {
+
+/// QoS requirements of one workload.
+struct QosSpec {
+  /// Maximum allowed Degradation(W,R) = Cost(W,R) / Cost(W,[1..1]).
+  /// Infinity = unconstrained (the default); 1 = no degradation allowed.
+  double degradation_limit = std::numeric_limits<double>::infinity();
+
+  /// Benefit gain factor G >= 1: each unit of cost improvement for this
+  /// workload counts as G units in the objective.
+  double gain_factor = 1.0;
+
+  bool Constrained() const {
+    return degradation_limit < std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_QOS_H_

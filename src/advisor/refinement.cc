@@ -1,0 +1,97 @@
+#include "advisor/refinement.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vdba::advisor {
+
+bool SameAllocation(const std::vector<simvm::VmResources>& a,
+                    const std::vector<simvm::VmResources>& b,
+                    double tolerance) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i].cpu_share - b[i].cpu_share) > tolerance) return false;
+    if (std::fabs(a[i].mem_share - b[i].mem_share) > tolerance) return false;
+  }
+  return true;
+}
+
+OnlineRefinement::OnlineRefinement(VirtualizationDesignAdvisor* advisor,
+                                   simvm::Hypervisor* hypervisor,
+                                   RefinementOptions options)
+    : advisor_(advisor), hypervisor_(hypervisor), options_(options) {
+  VDBA_CHECK(advisor_ != nullptr);
+  VDBA_CHECK(hypervisor_ != nullptr);
+}
+
+RefinementResult OnlineRefinement::Run() {
+  const int n = advisor_->num_tenants();
+  RefinementResult result;
+
+  // Initial static recommendation; its what-if observation log seeds the
+  // fitted models and their plan-change intervals.
+  Recommendation rec = advisor_->Recommend();
+  result.initial_allocations = rec.allocations;
+  std::vector<simvm::VmResources> alloc = rec.allocations;
+
+  models_.clear();
+  for (int i = 0; i < n; ++i) {
+    models_.push_back(std::make_unique<FittedCostModel>(
+        FittedCostModel::FromObservations(
+            advisor_->estimator()->observations(i))));
+  }
+
+  const std::vector<QosSpec> qos = advisor_->QosList();
+  const double tol = advisor_->options().enumerator.delta / 10.0;
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    RefinementIteration log;
+    log.allocations = alloc;
+    // Deploy `alloc`, observe actual costs, refine models.
+    for (int i = 0; i < n; ++i) {
+      const Tenant& t = advisor_->estimator()->tenants()[static_cast<size_t>(i)];
+      const simvm::VmResources& r = alloc[static_cast<size_t>(i)];
+      double est = models_[static_cast<size_t>(i)]->Eval(r);
+      double act = hypervisor_->RunWorkload(*t.engine, t.workload, r);
+      log.estimated_seconds.push_back(est);
+      log.actual_seconds.push_back(act);
+
+      bool refit =
+          models_[static_cast<size_t>(i)]->AddActualObservation(r, act);
+      if (!refit && est > 0.0) {
+        double factor = act / est;
+        if (iter == 1) {
+          // First iteration: the optimizer's bias is assumed present in
+          // every interval (§5.1).
+          models_[static_cast<size_t>(i)]->ScaleAll(factor);
+        } else {
+          models_[static_cast<size_t>(i)]->ScaleSegmentAt(r.mem_share,
+                                                          factor);
+        }
+      }
+    }
+    result.history.push_back(std::move(log));
+    result.iterations = iter;
+
+    // Re-run the enumerator over the refined models (no optimizer calls).
+    std::vector<const FittedCostModel*> model_ptrs;
+    model_ptrs.reserve(static_cast<size_t>(n));
+    for (auto& m : models_) model_ptrs.push_back(m.get());
+    ModelCostEstimator estimator(model_ptrs);
+    GreedyEnumerator greedy(advisor_->options().enumerator);
+    EnumerationResult enumerated = greedy.Run(&estimator, qos);
+
+    if (SameAllocation(enumerated.allocations, alloc, tol)) {
+      result.converged = true;
+      alloc = enumerated.allocations;
+      break;
+    }
+    alloc = enumerated.allocations;
+  }
+
+  result.final_allocations = alloc;
+  return result;
+}
+
+}  // namespace vdba::advisor

@@ -1,0 +1,76 @@
+// Online refinement (§5): correct optimizer mis-estimation with observed
+// run times.
+//
+// After the initial recommendation is deployed, each iteration measures
+// the actual completion time of every workload, scales (or refits) the
+// fitted cost models by Act/Est, and re-runs the configuration enumerator
+// over the refined models (no optimizer calls). Iterations stop when the
+// recommendation stops changing or the iteration cap is reached.
+#ifndef VDBA_ADVISOR_REFINEMENT_H_
+#define VDBA_ADVISOR_REFINEMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/fitted_cost_model.h"
+#include "simvm/hypervisor.h"
+
+namespace vdba::advisor {
+
+/// Refinement knobs.
+struct RefinementOptions {
+  /// Upper bound on refinement iterations (§5.1: termination guarantee).
+  int max_iterations = 10;
+};
+
+/// Log of one refinement iteration.
+struct RefinementIteration {
+  std::vector<simvm::VmResources> allocations;  ///< Deployed this iteration.
+  std::vector<double> estimated_seconds;        ///< Model estimates.
+  std::vector<double> actual_seconds;           ///< Measured.
+};
+
+/// Final refinement outcome.
+struct RefinementResult {
+  std::vector<simvm::VmResources> initial_allocations;  ///< Pre-refinement.
+  std::vector<simvm::VmResources> final_allocations;
+  int iterations = 0;
+  bool converged = false;
+  std::vector<RefinementIteration> history;
+};
+
+/// Drives §5 refinement on top of an advisor and a hypervisor.
+class OnlineRefinement {
+ public:
+  OnlineRefinement(VirtualizationDesignAdvisor* advisor,
+                   simvm::Hypervisor* hypervisor,
+                   RefinementOptions options = RefinementOptions());
+
+  /// Full pipeline: initial recommendation, then refinement to
+  /// convergence. Models are (re)built from the enumeration's what-if
+  /// observation log.
+  RefinementResult Run();
+
+  /// Per-tenant fitted model (valid after Run()); used by dynamic
+  /// configuration management.
+  FittedCostModel* model(int tenant) {
+    return models_[static_cast<size_t>(tenant)].get();
+  }
+
+ private:
+  VirtualizationDesignAdvisor* advisor_;
+  simvm::Hypervisor* hypervisor_;
+  RefinementOptions options_;
+  std::vector<std::unique_ptr<FittedCostModel>> models_;
+};
+
+/// True when two allocation vectors are equal within `tolerance` on every
+/// share (the refinement stop test).
+bool SameAllocation(const std::vector<simvm::VmResources>& a,
+                    const std::vector<simvm::VmResources>& b,
+                    double tolerance);
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_REFINEMENT_H_

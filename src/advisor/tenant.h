@@ -1,0 +1,25 @@
+// A tenant = one DBMS instance in one VM with its workload and QoS.
+#ifndef VDBA_ADVISOR_TENANT_H_
+#define VDBA_ADVISOR_TENANT_H_
+
+#include "advisor/qos.h"
+#include "calib/calibration_model.h"
+#include "simdb/engine.h"
+#include "simdb/workload.h"
+
+namespace vdba::advisor {
+
+/// One consolidated DBMS: the engine it runs, the calibration model for
+/// that engine on this machine, the anticipated workload, and QoS settings.
+/// The advisor never runs the engine during enumeration — only the
+/// calibrated what-if optimizer is consulted.
+struct Tenant {
+  const simdb::DbEngine* engine = nullptr;
+  const calib::CalibrationModel* calibration = nullptr;
+  simdb::Workload workload;
+  QosSpec qos;
+};
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_TENANT_H_

@@ -1,0 +1,248 @@
+#include "calib/calibration.h"
+
+#include <cmath>
+
+#include "calib/renormalize.h"
+#include "simdb/workload.h"
+#include "util/check.h"
+#include "util/regression.h"
+
+namespace vdba::calib {
+
+using simdb::AggregateKind;
+using simdb::Catalog;
+using simdb::DbEngine;
+using simdb::EngineFlavor;
+using simdb::QuerySpec;
+using simvm::VmResources;
+
+namespace {
+
+// The calibration database: one uniform table, "just large enough to allow
+// query execution times to be measured accurately" (§4.3) and shared by all
+// calibration queries.
+constexpr double kCalRows = 400000.0;
+constexpr double kCalWidth = 100.0;
+
+Catalog MakeCalibrationCatalog() {
+  Catalog cat;
+  simdb::TableDef t;
+  t.name = "caldata";
+  t.rows = kCalRows;
+  t.row_width_bytes = kCalWidth;
+  t.columns = {{"pk", kCalRows}, {"k100", 100.0}};
+  simdb::TableId id = cat.AddTable(std::move(t));
+  simdb::IndexDef idx;
+  idx.name = "caldata_pk";
+  idx.table = id;
+  idx.column = "pk";
+  idx.clustered = true;
+  cat.AddIndex(std::move(idx));
+  return cat;
+}
+
+QuerySpec MakeQueryA() {
+  // select count(*) from caldata: depends on tuple + operator costs only,
+  // returns a single row (minimal unmodeled cost, §4.3).
+  QuerySpec q;
+  q.name = "cal_count";
+  simdb::RelationRef r;
+  r.table = 0;
+  r.filter_selectivity = 1.0;
+  r.num_predicates = 0;
+  q.relations = {r};
+  q.aggregate = {AggregateKind::kScalar, 1, 1, 32, 1.0};
+  return q;
+}
+
+QuerySpec MakeQueryB() {
+  // select count(*) .. where <2 predicates> group by k100: same parameters
+  // with different coefficients -> a solvable 2x2 system.
+  QuerySpec q;
+  q.name = "cal_group";
+  simdb::RelationRef r;
+  r.table = 0;
+  r.filter_selectivity = 1.0;
+  r.num_predicates = 2;
+  q.relations = {r};
+  q.aggregate = {AggregateKind::kGrouped, 100, 1, 32, 1.0};
+  return q;
+}
+
+QuerySpec MakeQueryC() {
+  // Index range scan over the clustered pk: known plan, adds the index
+  // tuple cost as the only new unknown.
+  QuerySpec q;
+  q.name = "cal_index";
+  simdb::RelationRef r;
+  r.table = 0;
+  r.filter_selectivity = 0.05;
+  r.num_predicates = 1;
+  r.index_column = "pk";
+  q.relations = {r};
+  q.aggregate = {AggregateKind::kScalar, 1, 1, 32, 1.0};
+  return q;
+}
+
+}  // namespace
+
+Calibrator::Calibrator(simvm::Hypervisor* hypervisor, EngineFlavor flavor,
+                       simdb::ExecutionProfile profile)
+    : hypervisor_(hypervisor),
+      flavor_(flavor),
+      engine_(std::make_unique<DbEngine>("calibration-db", flavor,
+                                         MakeCalibrationCatalog(), profile)),
+      query_a_(MakeQueryA()),
+      query_b_(MakeQueryB()),
+      query_c_(MakeQueryC()) {
+  VDBA_CHECK(hypervisor_ != nullptr);
+}
+
+StatusOr<Calibrator::CpuSolveResult> Calibrator::SolveCpuSeconds(
+    const VmResources& vm) {
+  // Activity counts come from the optimizer's own cost formulas — the
+  // calibrator solves Renormalize(Cost(Q,P,D)) = T_Q for the parameters
+  // (§4.3 step 3). Plans for the calibration queries are allocation-
+  // independent by design.
+  simdb::EngineParams defaults = engine_->DefaultParams();
+  simdb::Activity act_a = engine_->WhatIfOptimize(query_a_, defaults).activity;
+  simdb::Activity act_b = engine_->WhatIfOptimize(query_b_, defaults).activity;
+  simdb::Activity act_c = engine_->WhatIfOptimize(query_c_, defaults).activity;
+
+  double spp = hypervisor_->MeasureSeqReadSecPerPage(vm);
+  double rpp = hypervisor_->MeasureRandReadSecPerPage(vm);
+  simulated_seconds_ += 30.0 + 45.0;  // stand-alone I/O programs
+
+  auto measure = [&](const QuerySpec& q) {
+    simdb::Workload w;
+    w.AddStatement(q, 1.0);
+    double t = hypervisor_->RunWorkload(*engine_, w, vm);
+    simulated_seconds_ += t;
+    return t;
+  };
+  auto io_seconds = [&](const simdb::Activity& a) {
+    return (a.seq_pages + a.spill_pages) * spp + a.rand_pages * rpp;
+  };
+
+  double cpu_a = measure(query_a_) - io_seconds(act_a);
+  double cpu_b = measure(query_b_) - io_seconds(act_b);
+  if (cpu_a <= 0.0 || cpu_b <= 0.0) {
+    return Status::Internal("calibration query dominated by I/O");
+  }
+  auto solved = SolveLinearSystem(
+      {{act_a.tuples, act_a.op_evals}, {act_b.tuples, act_b.op_evals}},
+      {cpu_a, cpu_b});
+  if (!solved.ok()) return solved.status();
+  CpuSolveResult r;
+  r.sec_per_tuple = (*solved)[0];
+  r.sec_per_op = (*solved)[1];
+
+  double cpu_c = measure(query_c_) - io_seconds(act_c);
+  double residual = cpu_c - act_c.tuples * r.sec_per_tuple -
+                    act_c.op_evals * r.sec_per_op;
+  VDBA_CHECK_GT(act_c.index_tuples, 0.0);
+  r.sec_per_index_tuple = residual / act_c.index_tuples;
+  if (r.sec_per_index_tuple <= 0.0) {
+    // Noise can push the small residual negative; clamp to a tiny positive
+    // value rather than failing calibration.
+    r.sec_per_index_tuple = 0.1 * r.sec_per_tuple;
+  }
+  return r;
+}
+
+StatusOr<double> Calibrator::MeasureCpuParam(const VmResources& vm) {
+  if (flavor_ == EngineFlavor::kDb2) {
+    // DB2's cpuspeed needs no SQL: a stand-alone program times a known
+    // instruction sequence (§4.3).
+    double sec_per_instr = hypervisor_->MeasureCpuSecPerInstr(vm);
+    simulated_seconds_ += std::min(60.0, 20.0 / vm.cpu_share);
+    return sec_per_instr * 1000.0;  // ms per instruction
+  }
+  auto solved = SolveCpuSeconds(vm);
+  if (!solved.ok()) return solved.status();
+  double spp = hypervisor_->MeasureSeqReadSecPerPage(vm);
+  return solved->sec_per_tuple / spp;  // cpu_tuple_cost
+}
+
+double Calibrator::MeasureIoParam(const VmResources& vm) {
+  double spp = hypervisor_->MeasureSeqReadSecPerPage(vm);
+  double rpp = hypervisor_->MeasureRandReadSecPerPage(vm);
+  simulated_seconds_ += 30.0 + 45.0;
+  if (flavor_ == EngineFlavor::kDb2) return spp * 1000.0;  // transfer_rate
+  return rpp / spp;  // random_page_cost
+}
+
+StatusOr<CalibrationModel> Calibrator::Calibrate(
+    const CalibrationOptions& options) {
+  VDBA_CHECK(!options.cpu_shares.empty());
+
+  // --- I/O parameters: one allocation suffices (§4.4, Figs. 7-8). ---
+  VmResources io_vm{options.cpu_share_for_io, options.mem_share_for_io};
+  double spp = hypervisor_->MeasureSeqReadSecPerPage(io_vm);
+  double rpp = hypervisor_->MeasureRandReadSecPerPage(io_vm);
+  simulated_seconds_ += 30.0 + 45.0;
+
+  // --- CPU parameters: sweep CPU shares at one memory setting. ---
+  std::vector<double> inv_shares;
+  inv_shares.reserve(options.cpu_shares.size());
+
+  if (flavor_ == EngineFlavor::kPostgres) {
+    std::vector<double> tuple_costs, op_costs, index_costs;
+    for (double s : options.cpu_shares) {
+      VmResources vm{s, options.mem_share_for_cpu};
+      auto solved = SolveCpuSeconds(vm);
+      if (!solved.ok()) return solved.status();
+      inv_shares.push_back(1.0 / s);
+      tuple_costs.push_back(solved->sec_per_tuple / spp);
+      op_costs.push_back(solved->sec_per_op / spp);
+      index_costs.push_back(solved->sec_per_index_tuple / spp);
+    }
+    auto tuple_fit = FitLinear(inv_shares, tuple_costs);
+    auto op_fit = FitLinear(inv_shares, op_costs);
+    auto index_fit = FitLinear(inv_shares, index_costs);
+    if (!tuple_fit.ok()) return tuple_fit.status();
+    if (!op_fit.ok()) return op_fit.status();
+    if (!index_fit.ok()) return index_fit.status();
+    return CalibrationModel::MakePostgres(*tuple_fit, *op_fit, *index_fit,
+                                          rpp / spp, spp);
+  }
+
+  // DB2: cpuspeed via the instruction-timing program, then the timeron
+  // renormalization regression over calibration queries (§4.2).
+  std::vector<double> cpuspeeds;
+  for (double s : options.cpu_shares) {
+    VmResources vm{s, options.mem_share_for_cpu};
+    double sec_per_instr = hypervisor_->MeasureCpuSecPerInstr(vm);
+    simulated_seconds_ += std::min(60.0, 20.0 / s);
+    inv_shares.push_back(1.0 / s);
+    cpuspeeds.push_back(sec_per_instr * 1000.0);
+  }
+  auto cpuspeed_fit = FitLinear(inv_shares, cpuspeeds);
+  if (!cpuspeed_fit.ok()) return cpuspeed_fit.status();
+
+  CalibrationModel partial = CalibrationModel::MakeDb2(
+      *cpuspeed_fit, (rpp - spp) * 1000.0, spp * 1000.0,
+      /*seconds_per_timeron=*/1.0);
+
+  std::vector<double> timerons, seconds;
+  for (double s : {0.3, 0.5, 1.0}) {
+    VmResources vm{s, options.mem_share_for_cpu};
+    simdb::EngineParams params =
+        partial.ParamsFor(s, vm.MemoryMb(hypervisor_->machine()));
+    for (const QuerySpec* q : {&query_a_, &query_b_, &query_c_}) {
+      double est = engine_->WhatIfOptimize(*q, params).native_cost;
+      simdb::Workload w;
+      w.AddStatement(*q, 1.0);
+      double t = hypervisor_->RunWorkload(*engine_, w, vm);
+      simulated_seconds_ += t;
+      timerons.push_back(est);
+      seconds.push_back(t);
+    }
+  }
+  auto factor = FitRenormalizationFactor(timerons, seconds);
+  if (!factor.ok()) return factor.status();
+  return CalibrationModel::MakeDb2(*cpuspeed_fit, (rpp - spp) * 1000.0,
+                                   spp * 1000.0, *factor);
+}
+
+}  // namespace vdba::calib

@@ -1,0 +1,94 @@
+// Calibrator: the per-engine, per-machine calibration procedure of
+// §4.3–4.4.
+//
+// The calibrator instantiates its own small calibration database inside a
+// throwaway engine of the target flavor (mirroring the paper, where the
+// calibration database D is designed once per DBMS type), realizes VMs at
+// selected resource allocations, runs calibration queries and stand-alone
+// measurement programs, and solves the cost-model equations for the
+// descriptive optimizer parameters. Per §4.4 it exploits parameter
+// independence: CPU parameters are calibrated at a single memory setting
+// and fitted linearly in 1/(cpu share); I/O parameters are measured once.
+#ifndef VDBA_CALIB_CALIBRATION_H_
+#define VDBA_CALIB_CALIBRATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "calib/calibration_model.h"
+#include "simdb/engine.h"
+#include "simvm/hypervisor.h"
+#include "util/status.h"
+
+namespace vdba::calib {
+
+/// Knobs of the calibration procedure.
+struct CalibrationOptions {
+  /// CPU allocations at which CPU parameters are measured.
+  std::vector<double> cpu_shares = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0};
+  /// Memory share used while calibrating CPU parameters (§4.4: CPU
+  /// parameters are memory-independent, so one setting suffices).
+  double mem_share_for_cpu = 0.5;
+  /// Allocation at which I/O parameters are measured (once).
+  double cpu_share_for_io = 0.5;
+  double mem_share_for_io = 0.5;
+};
+
+/// One calibration measurement (exposed for the Figs. 5-8 benches).
+struct CalibrationSample {
+  double cpu_share = 0.0;
+  double mem_share = 0.0;
+  double value = 0.0;
+};
+
+/// Runs the calibration procedure against a hypervisor.
+class Calibrator {
+ public:
+  /// `profile` is the ground-truth execution profile of the engine being
+  /// calibrated (the calibrator itself never reads its fields; it only
+  /// runs workloads and measures).
+  Calibrator(simvm::Hypervisor* hypervisor, simdb::EngineFlavor flavor,
+             simdb::ExecutionProfile profile);
+
+  /// Full §4.3–4.4 procedure; returns the fitted model.
+  StatusOr<CalibrationModel> Calibrate(const CalibrationOptions& options);
+
+  /// Point measurement of the flavor's primary CPU parameter at an
+  /// arbitrary (cpu, mem) allocation: PostgreSQL cpu_tuple_cost or DB2
+  /// cpuspeed (ms/instr). Used to reproduce Figs. 5-6.
+  StatusOr<double> MeasureCpuParam(const simvm::VmResources& vm);
+
+  /// Point measurement of the flavor's primary I/O parameter:
+  /// PostgreSQL random_page_cost or DB2 transfer_rate (ms). Figs. 7-8.
+  double MeasureIoParam(const simvm::VmResources& vm);
+
+  /// Simulated wall-clock seconds consumed by calibration so far (the
+  /// §7.2 cost accounting: measured query times plus the nominal runtimes
+  /// of the stand-alone measurement programs).
+  double simulated_seconds() const { return simulated_seconds_; }
+
+  simdb::EngineFlavor flavor() const { return flavor_; }
+
+ private:
+  struct CpuSolveResult {
+    double sec_per_tuple = 0.0;
+    double sec_per_op = 0.0;
+    double sec_per_index_tuple = 0.0;
+  };
+
+  /// Measures the calibration queries at `vm` and solves the cost
+  /// equations for per-event CPU seconds (§4.3 steps 2-3).
+  StatusOr<CpuSolveResult> SolveCpuSeconds(const simvm::VmResources& vm);
+
+  simvm::Hypervisor* hypervisor_;
+  simdb::EngineFlavor flavor_;
+  std::unique_ptr<simdb::DbEngine> engine_;  ///< Calibration database.
+  simdb::QuerySpec query_a_;  ///< count(*): tuple + operator costs.
+  simdb::QuerySpec query_b_;  ///< grouped count: second equation.
+  simdb::QuerySpec query_c_;  ///< index range scan: index tuple cost.
+  double simulated_seconds_ = 0.0;
+};
+
+}  // namespace vdba::calib
+
+#endif  // VDBA_CALIB_CALIBRATION_H_

@@ -1,0 +1,54 @@
+#include "calib/calibration_model.h"
+
+#include "util/check.h"
+
+namespace vdba::calib {
+
+simdb::EngineParams CalibrationModel::ParamsFor(double cpu_share,
+                                                double vm_memory_mb) const {
+  VDBA_CHECK_GT(cpu_share, 0.0);
+  double inv = 1.0 / cpu_share;
+  if (flavor_ == simdb::EngineFlavor::kPostgres) {
+    simdb::PgParams p;
+    p.cpu_tuple_cost = cpu_tuple_fit_.Eval(inv);
+    p.cpu_operator_cost = cpu_operator_fit_.Eval(inv);
+    p.cpu_index_tuple_cost = cpu_index_tuple_fit_.Eval(inv);
+    p.random_page_cost = random_page_cost_;
+    return simdb::MemoryPolicy::ApplyPg(p, vm_memory_mb);
+  }
+  simdb::Db2Params p;
+  p.cpuspeed_ms_per_instr = cpuspeed_fit_.Eval(inv);
+  p.overhead_ms = overhead_ms_;
+  p.transfer_rate_ms = transfer_rate_ms_;
+  return simdb::MemoryPolicy::ApplyDb2(p, vm_memory_mb);
+}
+
+CalibrationModel CalibrationModel::MakePostgres(LinearFit cpu_tuple,
+                                                LinearFit cpu_operator,
+                                                LinearFit cpu_index_tuple,
+                                                double random_page_cost,
+                                                double seconds_per_seq_page) {
+  CalibrationModel m;
+  m.flavor_ = simdb::EngineFlavor::kPostgres;
+  m.cpu_tuple_fit_ = cpu_tuple;
+  m.cpu_operator_fit_ = cpu_operator;
+  m.cpu_index_tuple_fit_ = cpu_index_tuple;
+  m.random_page_cost_ = random_page_cost;
+  m.seconds_per_native_unit_ = seconds_per_seq_page;
+  return m;
+}
+
+CalibrationModel CalibrationModel::MakeDb2(LinearFit cpuspeed_ms,
+                                           double overhead_ms,
+                                           double transfer_rate_ms,
+                                           double seconds_per_timeron) {
+  CalibrationModel m;
+  m.flavor_ = simdb::EngineFlavor::kDb2;
+  m.cpuspeed_fit_ = cpuspeed_ms;
+  m.overhead_ms_ = overhead_ms;
+  m.transfer_rate_ms_ = transfer_rate_ms;
+  m.seconds_per_native_unit_ = seconds_per_timeron;
+  return m;
+}
+
+}  // namespace vdba::calib

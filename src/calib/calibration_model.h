@@ -1,0 +1,65 @@
+// CalibrationModel: the output of the §4.3–4.4 calibration procedure.
+//
+// Maps a candidate resource allocation R to an optimizer parameter vector P
+// (descriptive parameters via fitted calibration functions Cal_ik,
+// prescriptive parameters via the administrator's memory policy), and
+// renormalizes engine-native cost units to seconds (§4.2).
+#ifndef VDBA_CALIB_CALIBRATION_MODEL_H_
+#define VDBA_CALIB_CALIBRATION_MODEL_H_
+
+#include "simdb/cost_params.h"
+#include "simdb/types.h"
+#include "util/regression.h"
+
+namespace vdba::calib {
+
+/// Calibrated R -> P mapping plus renormalization for one engine on one
+/// physical machine. CPU-describing parameters are linear in
+/// 1/(cpu share) (paper Figs. 5-6); I/O-describing parameters are
+/// allocation-independent constants (Figs. 7-8).
+class CalibrationModel {
+ public:
+  CalibrationModel() = default;
+
+  simdb::EngineFlavor flavor() const { return flavor_; }
+
+  /// Parameter vector for a VM with the given CPU share and memory size.
+  simdb::EngineParams ParamsFor(double cpu_share, double vm_memory_mb) const;
+
+  /// Renormalizes an engine-native cost to seconds.
+  double ToSeconds(double native_cost) const {
+    return native_cost * seconds_per_native_unit_;
+  }
+
+  double seconds_per_native_unit() const { return seconds_per_native_unit_; }
+
+  // --- Builders (used by the Calibrator) ---
+
+  static CalibrationModel MakePostgres(LinearFit cpu_tuple,
+                                       LinearFit cpu_operator,
+                                       LinearFit cpu_index_tuple,
+                                       double random_page_cost,
+                                       double seconds_per_seq_page);
+
+  static CalibrationModel MakeDb2(LinearFit cpuspeed_ms, double overhead_ms,
+                                  double transfer_rate_ms,
+                                  double seconds_per_timeron);
+
+ private:
+  simdb::EngineFlavor flavor_ = simdb::EngineFlavor::kPostgres;
+  // PostgreSQL: fits over x = 1/cpu_share.
+  LinearFit cpu_tuple_fit_;
+  LinearFit cpu_operator_fit_;
+  LinearFit cpu_index_tuple_fit_;
+  double random_page_cost_ = 4.0;
+  // DB2: fit over x = 1/cpu_share.
+  LinearFit cpuspeed_fit_;
+  double overhead_ms_ = 6.0;
+  double transfer_rate_ms_ = 0.1;
+  // Renormalization factor (§4.2).
+  double seconds_per_native_unit_ = 1.0;
+};
+
+}  // namespace vdba::calib
+
+#endif  // VDBA_CALIB_CALIBRATION_MODEL_H_

@@ -1,0 +1,18 @@
+#include "calib/renormalize.h"
+
+#include "util/regression.h"
+
+namespace vdba::calib {
+
+StatusOr<double> FitRenormalizationFactor(
+    const std::vector<double>& native_costs,
+    const std::vector<double>& measured_seconds) {
+  auto fit = FitProportional(native_costs, measured_seconds);
+  if (!fit.ok()) return fit.status();
+  if (fit->slope <= 0.0) {
+    return Status::Internal("non-positive renormalization factor");
+  }
+  return fit->slope;
+}
+
+}  // namespace vdba::calib

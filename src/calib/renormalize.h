@@ -1,0 +1,20 @@
+// Renormalization of engine-native cost units to seconds (§4.2).
+#ifndef VDBA_CALIB_RENORMALIZE_H_
+#define VDBA_CALIB_RENORMALIZE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace vdba::calib {
+
+/// Fits seconds = factor * native_cost through the origin (the DB2
+/// timeron-to-seconds regression; PostgreSQL needs no regression because
+/// its unit is directly measurable). Returns the factor.
+StatusOr<double> FitRenormalizationFactor(
+    const std::vector<double>& native_costs,
+    const std::vector<double>& measured_seconds);
+
+}  // namespace vdba::calib
+
+#endif  // VDBA_CALIB_RENORMALIZE_H_

@@ -1,0 +1,144 @@
+#include "scenario/scenario.h"
+
+#include "util/check.h"
+#include "workload/units.h"
+
+namespace vdba::scenario {
+
+using simdb::DbEngine;
+using simdb::EngineFlavor;
+
+Testbed::Testbed(TestbedOptions options)
+    : options_(options),
+      hypervisor_(options.machine, options.hypervisor),
+      tpch_sf1_(workload::MakeTpchDatabase(1.0)),
+      tpch_sf10_(workload::MakeTpchDatabase(options.with_sf10 ? 10.0 : 1.0)),
+      tpcc_(workload::MakeTpccDatabase(options.with_tpcc ? 10 : 1)) {
+  pg_sf1_ = std::make_unique<DbEngine>("pg-tpch-sf1", EngineFlavor::kPostgres,
+                                       tpch_sf1_.catalog);
+  db2_sf1_ = std::make_unique<DbEngine>("db2-tpch-sf1", EngineFlavor::kDb2,
+                                        tpch_sf1_.catalog);
+  if (options_.with_sf10) {
+    pg_sf10_ = std::make_unique<DbEngine>(
+        "pg-tpch-sf10", EngineFlavor::kPostgres, tpch_sf10_.catalog);
+    db2_sf10_ = std::make_unique<DbEngine>("db2-tpch-sf10", EngineFlavor::kDb2,
+                                           tpch_sf10_.catalog);
+  }
+  if (options_.with_tpcc) {
+    pg_tpcc_ = std::make_unique<DbEngine>("pg-tpcc", EngineFlavor::kPostgres,
+                                          tpcc_.catalog);
+    db2_tpcc_ = std::make_unique<DbEngine>("db2-tpcc", EngineFlavor::kDb2,
+                                           tpcc_.catalog);
+    // Mixed instance hosting both databases (for workload-swap scenarios).
+    simdb::Catalog combined;
+    tpch_mixed_.scale_factor = 1.0;
+    tpch_mixed_.tables = workload::AppendTpchTables(&combined, 1.0);
+    tpcc_mixed_.warehouses = 10;
+    tpcc_mixed_.tables = workload::AppendTpccTables(&combined, 10);
+    tpch_mixed_.catalog = combined;
+    tpcc_mixed_.catalog = std::move(combined);
+    db2_mixed_ = std::make_unique<DbEngine>("db2-mixed", EngineFlavor::kDb2,
+                                            tpcc_mixed_.catalog);
+  }
+
+  // Calibrate each flavor once on this machine (§4.3: per-DBMS-per-machine,
+  // independent of the user databases).
+  calib::Calibrator pg_cal(&hypervisor_, EngineFlavor::kPostgres,
+                           pg_sf1_->profile());
+  auto pg_model = pg_cal.Calibrate(calib::CalibrationOptions());
+  VDBA_CHECK_MSG(pg_model.ok(), "PostgreSQL calibration failed: %s",
+                 pg_model.status().ToString().c_str());
+  pg_calibration_ = std::move(pg_model.value());
+  pg_calibration_seconds_ = pg_cal.simulated_seconds();
+
+  calib::Calibrator db2_cal(&hypervisor_, EngineFlavor::kDb2,
+                            db2_sf1_->profile());
+  auto db2_model = db2_cal.Calibrate(calib::CalibrationOptions());
+  VDBA_CHECK_MSG(db2_model.ok(), "DB2 calibration failed: %s",
+                 db2_model.status().ToString().c_str());
+  db2_calibration_ = std::move(db2_model.value());
+  db2_calibration_seconds_ = db2_cal.simulated_seconds();
+}
+
+advisor::Tenant Testbed::MakeTenant(const simdb::DbEngine& engine,
+                                    simdb::Workload workload,
+                                    advisor::QosSpec qos) const {
+  advisor::Tenant t;
+  t.engine = &engine;
+  t.calibration = engine.flavor() == EngineFlavor::kPostgres
+                      ? &pg_calibration_
+                      : &db2_calibration_;
+  t.workload = std::move(workload);
+  t.qos = qos;
+  return t;
+}
+
+double Testbed::TrueSeconds(const advisor::Tenant& tenant,
+                            const simvm::VmResources& r) const {
+  return hypervisor_.TrueWorkloadSeconds(*tenant.engine, tenant.workload, r);
+}
+
+double Testbed::TrueTotalSeconds(
+    const std::vector<advisor::Tenant>& tenants,
+    const std::vector<simvm::VmResources>& alloc) const {
+  VDBA_CHECK_EQ(tenants.size(), alloc.size());
+  double total = 0.0;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    total += TrueSeconds(tenants[i], alloc[i]);
+  }
+  return total;
+}
+
+double Testbed::ActualImprovement(
+    const std::vector<advisor::Tenant>& tenants,
+    const std::vector<simvm::VmResources>& alloc) const {
+  std::vector<simvm::VmResources> def =
+      advisor::DefaultAllocation(static_cast<int>(tenants.size()));
+  double t_def = TrueTotalSeconds(tenants, def);
+  double t_alloc = TrueTotalSeconds(tenants, alloc);
+  return t_def > 0.0 ? (t_def - t_alloc) / t_def : 0.0;
+}
+
+simdb::RuntimeEnv Testbed::FullEnv() const {
+  return hypervisor_.MakeEnv(simvm::VmResources{1.0, 1.0});
+}
+
+simdb::RuntimeEnv Testbed::CpuUnitEnv() const {
+  return hypervisor_.MakeEnv(
+      simvm::VmResources{1.0, CpuExperimentMemShare()});
+}
+
+simdb::Workload Testbed::CpuIntensiveUnit(
+    const simdb::DbEngine& engine, const workload::TpchDatabase& db) const {
+  simdb::QuerySpec q18 = workload::TpchQuery(db, 18);
+  double copies = workload::CopiesToMatch(
+      engine, q18, CpuUnitEnv(), kCpuExperimentMemoryMb, kCpuUnitSeconds);
+  return workload::MakeRepeatedQueryWorkload("unitC", q18, copies);
+}
+
+simdb::Workload Testbed::CpuLazyUnit(const simdb::DbEngine& engine,
+                                     const workload::TpchDatabase& db) const {
+  simdb::QuerySpec q21 = workload::TpchQuery(db, 21);
+  double copies = workload::CopiesToMatch(
+      engine, q21, CpuUnitEnv(), kCpuExperimentMemoryMb, kCpuUnitSeconds);
+  return workload::MakeRepeatedQueryWorkload("unitI", q21, copies);
+}
+
+simdb::Workload Testbed::MemoryIntensiveUnit(
+    const workload::TpchDatabase& db) const {
+  return workload::MakeRepeatedQueryWorkload("unitB",
+                                             workload::TpchQuery(db, 7), 1.0);
+}
+
+simdb::Workload Testbed::MemoryLazyUnit(
+    const simdb::DbEngine& engine, const workload::TpchDatabase& db) const {
+  simdb::QuerySpec q7 = workload::TpchQuery(db, 7);
+  simdb::QuerySpec q16 = workload::TpchQuery(db, 16);
+  double target = engine.ExecuteQuery(q7, FullEnv(), machine().memory_mb)
+                      .total_seconds();
+  double copies = workload::CopiesToMatch(engine, q16, FullEnv(),
+                                          machine().memory_mb, target);
+  return workload::MakeRepeatedQueryWorkload("unitD", q16, copies);
+}
+
+}  // namespace vdba::scenario

@@ -1,0 +1,148 @@
+// Testbed assembly: the §7.1 experimental environment in one object.
+//
+// Builds the physical machine, hypervisor (with the I/O-contention VM),
+// the TPC-H SF1/SF10 and TPC-C databases, one engine per (flavor, database)
+// pair, and the per-flavor calibration models. Shared by the bench
+// harnesses, the examples, and the integration tests so every experiment
+// runs against the same environment.
+#ifndef VDBA_SCENARIO_SCENARIO_H_
+#define VDBA_SCENARIO_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/tenant.h"
+#include "calib/calibration.h"
+#include "simdb/engine.h"
+#include "simvm/hypervisor.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace vdba::scenario {
+
+/// Testbed construction knobs.
+struct TestbedOptions {
+  simvm::PhysicalMachine machine = DefaultMachine();
+  simvm::HypervisorOptions hypervisor;
+  /// Skip building the (large) SF10 databases and engines.
+  bool with_sf10 = true;
+  /// Skip building TPC-C databases and engines.
+  bool with_tpcc = true;
+
+  /// The paper's server: 4 cores, 8 GB (see PhysicalMachine for the CPU
+  /// capacity convention).
+  static simvm::PhysicalMachine DefaultMachine() {
+    return simvm::PhysicalMachine{};
+  }
+};
+
+/// The assembled environment.
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options = TestbedOptions());
+
+  const simvm::PhysicalMachine& machine() const { return options_.machine; }
+  simvm::Hypervisor* hypervisor() { return &hypervisor_; }
+
+  const workload::TpchDatabase& tpch_sf1() const { return tpch_sf1_; }
+  const workload::TpchDatabase& tpch_sf10() const { return tpch_sf10_; }
+  const workload::TpccDatabase& tpcc() const { return tpcc_; }
+
+  /// Mixed instance: one DBMS hosting BOTH the TPC-H SF1 and the TPC-C
+  /// databases (used by the §7.10 experiments, where workloads are swapped
+  /// between VMs at run time).
+  const workload::TpchDatabase& tpch_mixed() const { return tpch_mixed_; }
+  const workload::TpccDatabase& tpcc_mixed() const { return tpcc_mixed_; }
+  const simdb::DbEngine& db2_mixed() const { return *db2_mixed_; }
+
+  /// Engines (flavor x database).
+  const simdb::DbEngine& pg_sf1() const { return *pg_sf1_; }
+  const simdb::DbEngine& db2_sf1() const { return *db2_sf1_; }
+  const simdb::DbEngine& pg_sf10() const { return *pg_sf10_; }
+  const simdb::DbEngine& db2_sf10() const { return *db2_sf10_; }
+  const simdb::DbEngine& pg_tpcc() const { return *pg_tpcc_; }
+  const simdb::DbEngine& db2_tpcc() const { return *db2_tpcc_; }
+
+  /// Calibration models (per flavor; §4.3 is per-DBMS-per-machine).
+  const calib::CalibrationModel& pg_calibration() const {
+    return pg_calibration_;
+  }
+  const calib::CalibrationModel& db2_calibration() const {
+    return db2_calibration_;
+  }
+  double pg_calibration_seconds() const { return pg_calibration_seconds_; }
+  double db2_calibration_seconds() const { return db2_calibration_seconds_; }
+
+  /// Tenant helper: binds an engine (with its flavor's calibration) to a
+  /// workload.
+  advisor::Tenant MakeTenant(const simdb::DbEngine& engine,
+                             simdb::Workload workload,
+                             advisor::QosSpec qos = advisor::QosSpec()) const;
+
+  /// Noise-free actual completion time of a tenant's workload at `r`.
+  double TrueSeconds(const advisor::Tenant& tenant,
+                     const simvm::VmResources& r) const;
+
+  /// Noise-free total time of all tenants at `alloc`.
+  double TrueTotalSeconds(const std::vector<advisor::Tenant>& tenants,
+                          const std::vector<simvm::VmResources>& alloc) const;
+
+  /// Relative improvement over the default 1/N allocation, measured with
+  /// noise-free actual costs: (T_default - T_alloc) / T_default.
+  double ActualImprovement(const std::vector<advisor::Tenant>& tenants,
+                           const std::vector<simvm::VmResources>& alloc) const;
+
+  // --- Paper workload units (§7.3-7.4) ---
+  // CPU units are sized so that one C unit and one I unit take the same
+  // time at 100% CPU with the CPU-experiment VM memory (512 MB), mirroring
+  // the paper's "same completion time at 100% of the available CPU".
+
+  /// Target completion time of one CPU workload unit at 100% CPU.
+  static constexpr double kCpuUnitSeconds = 120.0;
+  /// Fixed VM memory of the CPU-only experiments (§7.1: 512 MB).
+  static constexpr double kCpuExperimentMemoryMb = 512.0;
+  double CpuExperimentMemShare() const {
+    return kCpuExperimentMemoryMb / machine().memory_mb;
+  }
+
+  /// C unit: copies of Q18 (CPU-intensive) lasting kCpuUnitSeconds (§7.3).
+  simdb::Workload CpuIntensiveUnit(const simdb::DbEngine& engine,
+                                   const workload::TpchDatabase& db) const;
+  /// I unit: copies of Q21 (I/O-bound) lasting kCpuUnitSeconds (§7.3).
+  simdb::Workload CpuLazyUnit(const simdb::DbEngine& engine,
+                              const workload::TpchDatabase& db) const;
+  /// B unit: one Q7 instance at SF10 (§7.4, DB2).
+  simdb::Workload MemoryIntensiveUnit(const workload::TpchDatabase& db) const;
+  /// D unit: copies of Q16 (SF10) matched to B at 100% memory (§7.4).
+  simdb::Workload MemoryLazyUnit(const simdb::DbEngine& engine,
+                                 const workload::TpchDatabase& db) const;
+
+  /// Runtime environment of a VM at 100% of the machine.
+  simdb::RuntimeEnv FullEnv() const;
+
+  /// Runtime environment at 100% CPU with the CPU-experiment memory.
+  simdb::RuntimeEnv CpuUnitEnv() const;
+
+ private:
+  TestbedOptions options_;
+  simvm::Hypervisor hypervisor_;
+  workload::TpchDatabase tpch_sf1_;
+  workload::TpchDatabase tpch_sf10_;
+  workload::TpccDatabase tpcc_;
+  std::unique_ptr<simdb::DbEngine> pg_sf1_, db2_sf1_;
+  std::unique_ptr<simdb::DbEngine> pg_sf10_, db2_sf10_;
+  std::unique_ptr<simdb::DbEngine> pg_tpcc_, db2_tpcc_;
+  workload::TpchDatabase tpch_mixed_;
+  workload::TpccDatabase tpcc_mixed_;
+  std::unique_ptr<simdb::DbEngine> db2_mixed_;
+  calib::CalibrationModel pg_calibration_;
+  calib::CalibrationModel db2_calibration_;
+  double pg_calibration_seconds_ = 0.0;
+  double db2_calibration_seconds_ = 0.0;
+};
+
+}  // namespace vdba::scenario
+
+#endif  // VDBA_SCENARIO_SCENARIO_H_

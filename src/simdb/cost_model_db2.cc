@@ -1,0 +1,42 @@
+#include "simdb/cost_model_db2.h"
+
+#include "util/check.h"
+
+namespace vdba::simdb {
+
+double Db2CostModel::NativeCost(const Activity& a,
+                                const EngineParams& params) const {
+  VDBA_CHECK(std::holds_alternative<Db2Params>(params));
+  const Db2Params& p = std::get<Db2Params>(params);
+  double instr =
+      weights_.ModeledInstructions(a.tuples, a.op_evals, a.index_tuples);
+  double ms = instr * p.cpuspeed_ms_per_instr;
+  ms += a.rand_pages * (p.overhead_ms + p.transfer_rate_ms);
+  ms += (a.seq_pages + a.spill_pages + a.write_pages) * p.transfer_rate_ms;
+  // Row return, logging, and lock contention are unmodeled (§7.8).
+  return ms / kMsPerTimeron;
+}
+
+MemoryContext Db2CostModel::EstimationContext(
+    const EngineParams& params) const {
+  VDBA_CHECK(std::holds_alternative<Db2Params>(params));
+  const Db2Params& p = std::get<Db2Params>(params);
+  MemoryContext mem;
+  mem.work_mem_bytes = ModeledSortMemMb(p.sortheap_mb) * 1024.0 * 1024.0;
+  // DB2 does not count on the OS cache (it uses direct I/O); only the
+  // bufferpool caches pages.
+  mem.buffer_bytes = p.bufferpool_mb * 1024.0 * 1024.0;
+  return mem;
+}
+
+MemoryContext Db2CostModel::ExecutionContext(
+    const EngineParams& params) const {
+  VDBA_CHECK(std::holds_alternative<Db2Params>(params));
+  const Db2Params& p = std::get<Db2Params>(params);
+  MemoryContext mem;
+  mem.work_mem_bytes = p.sortheap_mb * 1024.0 * 1024.0;  // full benefit
+  mem.buffer_bytes = p.bufferpool_mb * 1024.0 * 1024.0;
+  return mem;
+}
+
+}  // namespace vdba::simdb

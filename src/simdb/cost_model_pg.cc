@@ -1,0 +1,40 @@
+#include "simdb/cost_model_pg.h"
+
+#include "util/check.h"
+
+namespace vdba::simdb {
+
+double PgCostModel::NativeCost(const Activity& a,
+                               const EngineParams& params) const {
+  VDBA_CHECK(std::holds_alternative<PgParams>(params));
+  const PgParams& p = std::get<PgParams>(params);
+  double cost = 0.0;
+  cost += (a.seq_pages + a.spill_pages + a.write_pages) * 1.0;
+  cost += a.rand_pages * p.random_page_cost;
+  cost += a.tuples * p.cpu_tuple_cost;
+  cost += a.op_evals * p.cpu_operator_cost;
+  cost += a.index_tuples * p.cpu_index_tuple_cost;
+  // Row-return and WAL costs are deliberately NOT modeled: real optimizers
+  // omit them because they are plan-invariant (§4.3), and their absence is
+  // one of the estimation errors online refinement corrects.
+  return cost;
+}
+
+MemoryContext PgCostModel::EstimationContext(
+    const EngineParams& params) const {
+  VDBA_CHECK(std::holds_alternative<PgParams>(params));
+  const PgParams& p = std::get<PgParams>(params);
+  MemoryContext mem;
+  mem.work_mem_bytes = p.work_mem_mb * 1024.0 * 1024.0;
+  // PostgreSQL counts on the OS cache in addition to shared_buffers; the
+  // optimizer reflects this through effective_cache_size.
+  mem.buffer_bytes =
+      (p.shared_buffers_mb + p.effective_cache_size_mb) * 1024.0 * 1024.0;
+  // PostgreSQL's model tracks the full benefit of work_mem (no cap), but
+  // work_mem itself is pinned at 5 MB by the administrator policy, so plans
+  // barely react to VM memory — matching the paper's setup where memory
+  // experiments use DB2.
+  return mem;
+}
+
+}  // namespace vdba::simdb

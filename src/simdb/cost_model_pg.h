@@ -1,0 +1,27 @@
+// PostgreSQL-flavor cost model.
+//
+// Costs are expressed in units of one sequential page fetch
+// (seq_page_cost == 1.0), exactly as PostgreSQL does; renormalization to
+// seconds therefore only needs the measured time of one sequential page
+// read (§4.2 of the paper).
+#ifndef VDBA_SIMDB_COST_MODEL_PG_H_
+#define VDBA_SIMDB_COST_MODEL_PG_H_
+
+#include "simdb/cost_model.h"
+
+namespace vdba::simdb {
+
+/// PostgreSQL-style cost model over the Table II parameters.
+class PgCostModel : public CostModel {
+ public:
+  EngineFlavor flavor() const override { return EngineFlavor::kPostgres; }
+
+  double NativeCost(const Activity& activity,
+                    const EngineParams& params) const override;
+
+  MemoryContext EstimationContext(const EngineParams& params) const override;
+};
+
+}  // namespace vdba::simdb
+
+#endif  // VDBA_SIMDB_COST_MODEL_PG_H_

@@ -1,0 +1,60 @@
+#include "simdb/cost_params.h"
+
+#include <cstdio>
+
+namespace vdba::simdb {
+
+EngineFlavor ParamsFlavor(const EngineParams& params) {
+  return std::holds_alternative<PgParams>(params) ? EngineFlavor::kPostgres
+                                                  : EngineFlavor::kDb2;
+}
+
+PgParams MemoryPolicy::ApplyPg(PgParams base, double vm_memory_mb) {
+  base.shared_buffers_mb = vm_memory_mb * kPgSharedBuffersFraction;
+  base.work_mem_mb = kPgWorkMemMb;
+  // The OS file cache gets whatever the DBMS does not take (minus a little
+  // kernel overhead); PostgreSQL relies on it heavily.
+  double remainder = vm_memory_mb - base.shared_buffers_mb - 64.0;
+  base.effective_cache_size_mb = remainder > 16.0 ? remainder : 16.0;
+  return base;
+}
+
+Db2Params MemoryPolicy::ApplyDb2(Db2Params base, double vm_memory_mb) {
+  double free_mb = vm_memory_mb - kOsReservedMb;
+  if (free_mb < 64.0) free_mb = 64.0;
+  base.bufferpool_mb = free_mb * kDb2BufferpoolFraction;
+  base.sortheap_mb = free_mb * (1.0 - kDb2BufferpoolFraction);
+  return base;
+}
+
+EngineParams MemoryPolicy::Apply(EngineParams base, double vm_memory_mb) {
+  if (std::holds_alternative<PgParams>(base)) {
+    return ApplyPg(std::get<PgParams>(base), vm_memory_mb);
+  }
+  return ApplyDb2(std::get<Db2Params>(base), vm_memory_mb);
+}
+
+std::string ParamsToString(const EngineParams& params) {
+  char buf[512];
+  if (std::holds_alternative<PgParams>(params)) {
+    const PgParams& p = std::get<PgParams>(params);
+    std::snprintf(buf, sizeof(buf),
+                  "pg{random_page_cost=%.3f cpu_tuple_cost=%.5f "
+                  "cpu_operator_cost=%.6f cpu_index_tuple_cost=%.5f "
+                  "shared_buffers=%.0fMB work_mem=%.0fMB "
+                  "effective_cache_size=%.0fMB}",
+                  p.random_page_cost, p.cpu_tuple_cost, p.cpu_operator_cost,
+                  p.cpu_index_tuple_cost, p.shared_buffers_mb, p.work_mem_mb,
+                  p.effective_cache_size_mb);
+  } else {
+    const Db2Params& p = std::get<Db2Params>(params);
+    std::snprintf(buf, sizeof(buf),
+                  "db2{cpuspeed=%.3e overhead=%.3fms transfer_rate=%.4fms "
+                  "sortheap=%.0fMB bufferpool=%.0fMB}",
+                  p.cpuspeed_ms_per_instr, p.overhead_ms, p.transfer_rate_ms,
+                  p.sortheap_mb, p.bufferpool_mb);
+  }
+  return buf;
+}
+
+}  // namespace vdba::simdb

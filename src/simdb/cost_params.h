@@ -1,0 +1,74 @@
+// Optimizer configuration parameters for both engine flavors, mirroring
+// Tables II and III of the paper, plus the prescriptive-parameter policies
+// of §4.3 (how DBMS memory knobs follow the VM's memory allocation).
+#ifndef VDBA_SIMDB_COST_PARAMS_H_
+#define VDBA_SIMDB_COST_PARAMS_H_
+
+#include <string>
+#include <variant>
+
+#include "simdb/types.h"
+
+namespace vdba::simdb {
+
+/// PostgreSQL-flavor optimizer parameters (paper Table II).
+/// Descriptive: random_page_cost, cpu_tuple_cost, cpu_operator_cost,
+/// cpu_index_tuple_cost, effective_cache_size. Prescriptive:
+/// shared_buffers, work_mem. The unit of cost is one sequential page fetch
+/// (seq_page_cost == 1 by definition).
+struct PgParams {
+  // -- Descriptive (calibrated per resource allocation) --
+  double random_page_cost = 4.0;        ///< Relative cost of random page I/O.
+  double cpu_tuple_cost = 0.01;         ///< Cost per tuple processed.
+  double cpu_operator_cost = 0.0025;    ///< Cost per predicate/expr eval.
+  double cpu_index_tuple_cost = 0.005;  ///< Cost per index entry processed.
+  double effective_cache_size_mb = 128; ///< OS page-cache size estimate.
+  // -- Prescriptive (set by the administrator's policy) --
+  double shared_buffers_mb = 32.0;      ///< Buffer pool size.
+  double work_mem_mb = 5.0;             ///< Per-operator sort/hash memory.
+};
+
+/// DB2-flavor optimizer parameters (paper Table III).
+/// Descriptive: cpuspeed, overhead, transfer_rate. Prescriptive: sortheap,
+/// bufferpool. Costs are expressed in timerons (a synthetic unit; see
+/// Db2CostModel for the hidden ms-per-timeron scale that renormalization
+/// recovers).
+struct Db2Params {
+  // -- Descriptive --
+  double cpuspeed_ms_per_instr = 4.0e-7; ///< Milliseconds per instruction.
+  double overhead_ms = 6.0;              ///< Extra ms per random I/O.
+  double transfer_rate_ms = 0.1;         ///< ms to read one data page.
+  // -- Prescriptive --
+  double sortheap_mb = 40.0;              ///< Sort/hash memory.
+  double bufferpool_mb = 190.0;           ///< Buffer pool size.
+};
+
+/// Parameter vector P_i handed to the what-if optimizer; the alternative
+/// held must match the engine's flavor.
+using EngineParams = std::variant<PgParams, Db2Params>;
+
+/// Returns the flavor the parameter vector is for.
+EngineFlavor ParamsFlavor(const EngineParams& params);
+
+/// Memory-policy constants from §7.1 of the paper.
+struct MemoryPolicy {
+  /// PostgreSQL: shared_buffers = 10/16 of VM memory; work_mem fixed 5 MB.
+  static PgParams ApplyPg(PgParams base, double vm_memory_mb);
+  /// DB2: leave 240 MB to the OS; 70% of the rest to bufferpool, 30% to
+  /// sortheap.
+  static Db2Params ApplyDb2(Db2Params base, double vm_memory_mb);
+  /// Applies the flavor-appropriate policy.
+  static EngineParams Apply(EngineParams base, double vm_memory_mb);
+
+  static constexpr double kOsReservedMb = 240.0;
+  static constexpr double kPgSharedBuffersFraction = 10.0 / 16.0;
+  static constexpr double kPgWorkMemMb = 5.0;
+  static constexpr double kDb2BufferpoolFraction = 0.7;
+};
+
+/// Human-readable dump (used by the Tables II/III bench and examples).
+std::string ParamsToString(const EngineParams& params);
+
+}  // namespace vdba::simdb
+
+#endif  // VDBA_SIMDB_COST_PARAMS_H_

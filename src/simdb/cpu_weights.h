@@ -1,0 +1,35 @@
+// Per-event CPU instruction weights.
+//
+// The simulator expresses CPU work as abstract instructions. The DB2-flavor
+// cost model converts event counts to instructions with these weights (DB2's
+// model works in instructions via its `cpuspeed` parameter); the executor
+// uses a per-engine copy of the same vocabulary as ground truth, extended
+// with the events real optimizers do NOT model (row return, update CPU,
+// contention) — the paper's §5/§7.8 modeling gaps.
+#ifndef VDBA_SIMDB_CPU_WEIGHTS_H_
+#define VDBA_SIMDB_CPU_WEIGHTS_H_
+
+namespace vdba::simdb {
+
+/// Instructions charged per activity event.
+struct CpuEventWeights {
+  double per_tuple = 2000.0;
+  double per_op_eval = 350.0;
+  double per_index_tuple = 1200.0;
+  /// Unmodeled by optimizers (§4.3): shipping a row to the client.
+  double per_row_returned = 6000.0;
+  /// Unmodeled: row modification (latching, logging CPU, index
+  /// maintenance, constraint checks).
+  double per_update_row = 60000.0;
+
+  /// Modeled instructions (what a cost model may charge).
+  double ModeledInstructions(double tuples, double op_evals,
+                             double index_tuples) const {
+    return tuples * per_tuple + op_evals * per_op_eval +
+           index_tuples * per_index_tuple;
+  }
+};
+
+}  // namespace vdba::simdb
+
+#endif  // VDBA_SIMDB_CPU_WEIGHTS_H_

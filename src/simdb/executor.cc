@@ -1,0 +1,44 @@
+#include "simdb/executor.h"
+
+#include "util/check.h"
+
+namespace vdba::simdb {
+
+ExecutionBreakdown Executor::ExecutePlan(const PlanNode& plan,
+                                         const QuerySpec& query,
+                                         const MemoryContext& mem,
+                                         const RuntimeEnv& env) const {
+  VDBA_CHECK_GT(env.cpu_ops_per_sec, 0.0);
+  // Ground truth never caps modeled sort memory and applies the engine's
+  // real memory-adaptivity boost.
+  MemoryContext truth = mem;
+  truth.modeled_sort_mem_cap_bytes =
+      std::numeric_limits<double>::infinity();
+  truth.sort_mem_boost = profile_.sort_mem_boost;
+
+  Activity act = ComputeActivity(catalog_, plan, truth, nullptr);
+
+  const CpuEventWeights& w = profile_.weights;
+  double instr = w.ModeledInstructions(act.tuples, act.op_evals,
+                                       act.index_tuples);
+  // Costs real optimizers do not model:
+  instr += act.rows_returned * w.per_row_returned;
+  instr += act.update_rows * w.per_update_row;
+  if (query.oltp && query.concurrency > 1.0) {
+    instr *= 1.0 + profile_.contention_coeff * (query.concurrency - 1.0);
+  }
+
+  ExecutionBreakdown out;
+  out.cpu_seconds = instr / env.cpu_ops_per_sec;
+
+  double io_ms = 0.0;
+  io_ms += act.seq_pages * env.seq_page_ms;
+  io_ms += act.spill_pages * profile_.spill_io_penalty * env.seq_page_ms;
+  io_ms += act.rand_pages * env.rand_page_ms;
+  io_ms += act.write_pages * env.write_page_ms;
+  io_ms += act.log_bytes / (1024.0 * 1024.0) * env.log_ms_per_mb;
+  out.io_seconds = io_ms * env.io_contention / 1000.0;
+  return out;
+}
+
+}  // namespace vdba::simdb

@@ -1,0 +1,91 @@
+// True-execution simulator: converts a physical plan into wall-clock
+// seconds under actual hardware rates and VM resource shares.
+//
+// This is the simulator's "ground truth". It deliberately includes costs
+// the optimizer cost models do NOT capture — row return, update/logging
+// CPU, and OLTP lock contention (§7.8), plus the full (un-capped, boosted)
+// benefit of sort memory (§7.9) — so that Est vs Act diverge with the same
+// systematic structure the paper's online refinement corrects.
+#ifndef VDBA_SIMDB_EXECUTOR_H_
+#define VDBA_SIMDB_EXECUTOR_H_
+
+#include "simdb/catalog.h"
+#include "simdb/cpu_weights.h"
+#include "simdb/plan.h"
+#include "simdb/query.h"
+
+namespace vdba::simdb {
+
+/// Fully-resolved runtime environment of one VM: hardware rates with the
+/// CPU share already applied and I/O contention factored in. Produced by
+/// the simvm layer.
+struct RuntimeEnv {
+  /// Effective instructions/second for this VM (= machine rate x share).
+  double cpu_ops_per_sec = 2.0e9;
+  /// Milliseconds per sequential 8 KB page read.
+  double seq_page_ms = 0.1;
+  /// Milliseconds per random 8 KB page read.
+  double rand_page_ms = 6.0;
+  /// Milliseconds per page write.
+  double write_page_ms = 0.2;
+  /// Milliseconds to persist 1 MB of log (sequential write).
+  double log_ms_per_mb = 12.0;
+  /// Multiplier on all I/O times from co-located I/O load (the paper's
+  /// always-on I/O-blasting VM makes this > 1 in every experiment).
+  double io_contention = 1.0;
+};
+
+/// Ground-truth behavioural profile of one engine installation.
+struct ExecutionProfile {
+  /// True CPU instruction weights (includes unmodeled events).
+  CpuEventWeights weights;
+  /// OLTP contention: CPU work inflates by (1 + coeff * (concurrency-1)).
+  /// Invisible to the optimizer cost models.
+  double contention_coeff = 0.06;
+  /// Real engines extract more benefit from sort memory than their static
+  /// cost models predict; the executor multiplies work_mem by this factor
+  /// when deciding spills (DB2 profile uses > 1; see §7.9).
+  double sort_mem_boost = 1.0;
+  /// Cost models price spill I/O as clean sequential transfer; in reality
+  /// merge phases and partition skew make spilled pages dearer. The
+  /// executor multiplies spill I/O time by this factor. Together with
+  /// sort_mem_boost this reproduces §7.9's error structure: actual cost is
+  /// WORSE than estimated when memory is scarce (penalized spills) and
+  /// BETTER when memory is plentiful (spills avoided entirely).
+  double spill_io_penalty = 1.6;
+  /// Relative sigma of measurement noise applied by the measurement layer
+  /// (the executor itself is deterministic).
+  double measurement_noise_sigma = 0.01;
+};
+
+/// Detailed timing breakdown of one plan execution (useful in tests and
+/// for the paper's CPU-intensive / I/O-intensive workload classification).
+struct ExecutionBreakdown {
+  double cpu_seconds = 0.0;
+  double io_seconds = 0.0;
+  double total_seconds() const { return cpu_seconds + io_seconds; }
+};
+
+/// Deterministic plan-execution timing.
+class Executor {
+ public:
+  Executor(const Catalog& catalog, const ExecutionProfile& profile)
+      : catalog_(catalog), profile_(profile) {}
+
+  /// Seconds to execute `plan` (built for `query`) once, with actual
+  /// memory context `mem` (buffer/work_mem reflecting the VM's true
+  /// memory) under `env`.
+  ExecutionBreakdown ExecutePlan(const PlanNode& plan, const QuerySpec& query,
+                                 const MemoryContext& mem,
+                                 const RuntimeEnv& env) const;
+
+  const ExecutionProfile& profile() const { return profile_; }
+
+ private:
+  const Catalog& catalog_;
+  ExecutionProfile profile_;
+};
+
+}  // namespace vdba::simdb
+
+#endif  // VDBA_SIMDB_EXECUTOR_H_

@@ -1,0 +1,316 @@
+#include "simdb/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "simdb/selectivity.h"
+#include "util/check.h"
+
+namespace vdba::simdb {
+
+namespace {
+
+constexpr int kMaxRelations = 12;
+
+struct Candidate {
+  PlanPtr plan;
+  double cost = 0.0;
+};
+
+/// DP state and helpers for one Optimize() call.
+class PlanSearch {
+ public:
+  PlanSearch(const Catalog& catalog, const CostModel& model,
+             const QuerySpec& query, const EngineParams& params)
+      : catalog_(catalog),
+        model_(model),
+        query_(query),
+        params_(params),
+        cards_(catalog, query),
+        mem_(model.EstimationContext(params)) {}
+
+  OptimizeResult Run() {
+    PlanPtr plan = BuildJoinTree();
+    plan = AddAggregate(plan);
+    plan = AddOrderBy(plan);
+    plan = AddUpdate(plan);
+    plan = AddResult(plan);
+
+    OptimizeResult result;
+    result.plan = plan;
+    result.activity =
+        ComputeActivity(catalog_, *plan, mem_, &result.signature);
+    result.native_cost = model_.NativeCost(result.activity, params_);
+    return result;
+  }
+
+ private:
+  double CostOf(const PlanNode& plan) const {
+    Activity act = ComputeActivity(catalog_, plan, mem_, nullptr);
+    return model_.NativeCost(act, params_);
+  }
+
+  void Consider(Candidate* best, PlanPtr plan) const {
+    double cost = CostOf(*plan);
+    if (!best->plan || cost < best->cost) {
+      best->plan = std::move(plan);
+      best->cost = cost;
+    }
+  }
+
+  PlanPtr MakeScan(int rel_index, bool force_seq) const {
+    const RelationRef& rel = query_.relations[static_cast<size_t>(rel_index)];
+    auto node = std::make_shared<PlanNode>();
+    node->table = rel.table;
+    node->scan_selectivity = rel.filter_selectivity;
+    node->num_predicates = rel.num_predicates;
+    node->output_rows = cards_.BaseRows(rel_index);
+    node->output_width_bytes = cards_.RowWidth(1u << rel_index);
+    node->op = PlanOp::kSeqScan;
+    if (!force_seq && !rel.index_column.empty()) {
+      IndexId idx = catalog_.FindIndex(rel.table, rel.index_column);
+      if (idx != kInvalidIndex) {
+        auto index_scan = std::make_shared<PlanNode>(*node);
+        index_scan->op = PlanOp::kIndexScan;
+        index_scan->index = idx;
+        // Pick the cheaper access path.
+        if (CostOf(*index_scan) < CostOf(*node)) return index_scan;
+      }
+    }
+    return node;
+  }
+
+  /// Joined-output node shared by all physical join candidates.
+  PlanPtr MakeJoin(PlanOp op, PlanPtr left, PlanPtr right, RelMask mask) const {
+    auto node = std::make_shared<PlanNode>();
+    node->op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    node->output_rows = cards_.SubsetRows(mask);
+    node->output_width_bytes = cards_.RowWidth(mask);
+    return node;
+  }
+
+  PlanPtr MakeSort(PlanPtr child) const {
+    auto node = std::make_shared<PlanNode>();
+    node->op = PlanOp::kSort;
+    node->output_rows = child->output_rows;
+    node->output_width_bytes = child->output_width_bytes;
+    node->left = std::move(child);
+    return node;
+  }
+
+  /// True when `mask` relations connect to relation `rel` via >=1 edge; if
+  /// so, returns combined per-probe selectivity and whether an inner index
+  /// is available for all connecting edges.
+  bool InnerJoinInfo(RelMask outer_mask, int inner_rel, double* per_probe_rows,
+                     bool* index_usable, IndexId* index) const {
+    double sel = 1.0;
+    bool connected = false;
+    bool usable = true;
+    IndexId idx = kInvalidIndex;
+    const RelationRef& inner =
+        query_.relations[static_cast<size_t>(inner_rel)];
+    for (const JoinPredicate& j : query_.joins) {
+      bool touches = false;
+      std::string index_col;
+      if (j.right_rel == inner_rel && (outer_mask & (1u << j.left_rel))) {
+        touches = true;
+        index_col = j.right_index_column;
+      } else if (j.left_rel == inner_rel &&
+                 (outer_mask & (1u << j.right_rel))) {
+        touches = true;  // reversed edge: no declared inner index
+      }
+      if (!touches) continue;
+      connected = true;
+      sel *= j.selectivity;
+      if (index_col.empty()) {
+        usable = false;
+      } else if (idx == kInvalidIndex) {
+        idx = catalog_.FindIndex(inner.table, index_col);
+        if (idx == kInvalidIndex) usable = false;
+      }
+    }
+    if (!connected) return false;
+    *per_probe_rows = cards_.BaseRows(inner_rel) * sel;
+    *index_usable = usable && idx != kInvalidIndex;
+    *index = idx;
+    return true;
+  }
+
+  PlanPtr BuildJoinTree() {
+    const int n = cards_.num_relations();
+    VDBA_CHECK_LE(n, kMaxRelations);
+    const RelMask all = static_cast<RelMask>((1u << n) - 1u);
+    std::vector<Candidate> best(all + 1);
+
+    for (int i = 0; i < n; ++i) {
+      RelMask m = 1u << i;
+      best[m].plan = MakeScan(i, /*force_seq=*/false);
+      best[m].cost = CostOf(*best[m].plan);
+    }
+    if (n == 1) return best[1].plan;
+
+    for (RelMask mask = 1; mask <= all; ++mask) {
+      if (std::popcount(mask) < 2) continue;
+      if (!cards_.Connected(mask)) continue;
+      Candidate& entry = best[mask];
+      // Enumerate proper subsets (left side); right side = complement.
+      for (RelMask left = (mask - 1) & mask; left != 0;
+           left = (left - 1) & mask) {
+        RelMask right = mask & ~left;
+        if (right == 0) continue;
+        if (!best[left].plan || !best[right].plan) continue;
+        if (!HasCrossEdge(left, right)) continue;
+
+        // Hash join: build on the right subtree.
+        Consider(&entry, MakeJoin(PlanOp::kHashJoin, best[left].plan,
+                                  best[right].plan, mask));
+        // Merge join: sort both inputs.
+        Consider(&entry,
+                 MakeJoin(PlanOp::kMergeJoin, MakeSort(best[left].plan),
+                          MakeSort(best[right].plan), mask));
+        // Index nested-loop: right side must be a single relation with a
+        // usable index on the join column(s).
+        if (std::popcount(right) == 1) {
+          int inner_rel = std::countr_zero(right);
+          double per_probe = 0.0;
+          bool index_usable = false;
+          IndexId idx = kInvalidIndex;
+          if (InnerJoinInfo(left, inner_rel, &per_probe, &index_usable,
+                            &idx)) {
+            if (index_usable) {
+              PlanPtr join = MakeJoinWithIndexInner(
+                  best[left].plan, inner_rel, per_probe, idx, mask);
+              Consider(&entry, std::move(join));
+            }
+            // Plain nested loop with a materialized inner (attractive only
+            // for tiny inners such as nation/region).
+            Consider(&entry, MakeJoin(PlanOp::kNestLoopJoin, best[left].plan,
+                                      best[right].plan, mask));
+          }
+        }
+      }
+      VDBA_CHECK_MSG(entry.plan != nullptr,
+                     "no join candidate for connected mask (query %s)",
+                     query_.name.c_str());
+    }
+    VDBA_CHECK_MSG(best[all].plan != nullptr,
+                   "disconnected join graph in query %s", query_.name.c_str());
+    return best[all].plan;
+  }
+
+  PlanPtr MakeJoinWithIndexInner(PlanPtr outer, int inner_rel,
+                                 double per_probe_rows, IndexId idx,
+                                 RelMask mask) const {
+    // The inner child carries relation metadata but is not scanned
+    // standalone (the walker special-cases kIndexNestLoopJoin).
+    PlanPtr inner = MakeScan(inner_rel, /*force_seq=*/true);
+    auto node = std::make_shared<PlanNode>();
+    node->op = PlanOp::kIndexNestLoopJoin;
+    node->left = std::move(outer);
+    node->right = std::move(inner);
+    node->inner_rows_per_probe = per_probe_rows;
+    node->inner_index = idx;
+    node->output_rows = cards_.SubsetRows(mask);
+    node->output_width_bytes = cards_.RowWidth(mask);
+    return node;
+  }
+
+  bool HasCrossEdge(RelMask left, RelMask right) const {
+    for (const JoinPredicate& j : query_.joins) {
+      RelMask l = 1u << j.left_rel;
+      RelMask r = 1u << j.right_rel;
+      if (((l & left) && (r & right)) || ((l & right) && (r & left))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  PlanPtr AddAggregate(PlanPtr child) const {
+    const AggregateSpec& agg = query_.aggregate;
+    if (agg.kind == AggregateKind::kNone) return child;
+
+    double groups = agg.kind == AggregateKind::kScalar
+                        ? 1.0
+                        : std::min(agg.num_groups, child->output_rows);
+    auto make_agg = [&](PlanOp op, PlanPtr input) {
+      auto node = std::make_shared<PlanNode>();
+      node->op = op;
+      node->num_groups = groups < 1.0 ? 1.0 : groups;
+      node->num_aggregates = agg.num_aggregates;
+      node->group_row_width = agg.group_row_width;
+      node->having_selectivity = agg.having_selectivity;
+      node->output_rows = cards_.RowsAfterAggregate();
+      node->output_width_bytes = agg.group_row_width;
+      node->left = std::move(input);
+      return node;
+    };
+
+    PlanPtr hash_agg = make_agg(PlanOp::kHashAggregate, child);
+    if (agg.kind == AggregateKind::kScalar) return hash_agg;
+    PlanPtr sort_agg = make_agg(PlanOp::kSortAggregate, MakeSort(child));
+    return CostOf(*hash_agg) <= CostOf(*sort_agg) ? hash_agg : sort_agg;
+  }
+
+  PlanPtr AddOrderBy(PlanPtr child) const {
+    if (!query_.order_by.required) return child;
+    // Sorting already-sorted output of a SortAggregate is free in practice;
+    // the optimizer still places the node (its cost is tiny for few rows).
+    auto node = std::make_shared<PlanNode>();
+    node->op = PlanOp::kSort;
+    node->output_rows = child->output_rows;
+    node->output_width_bytes = query_.order_by.row_width;
+    node->left = std::move(child);
+    return node;
+  }
+
+  PlanPtr AddUpdate(PlanPtr child) const {
+    if (query_.update.rows_modified <= 0.0) return child;
+    auto node = std::make_shared<PlanNode>();
+    node->op = PlanOp::kUpdate;
+    node->update = query_.update;
+    node->output_rows = child->output_rows;
+    node->output_width_bytes = child->output_width_bytes;
+    node->left = std::move(child);
+    return node;
+  }
+
+  PlanPtr AddResult(PlanPtr child) const {
+    auto node = std::make_shared<PlanNode>();
+    node->op = PlanOp::kResult;
+    node->limit_rows = query_.limit_rows;
+    double rows = child->output_rows;
+    if (query_.limit_rows > 0.0 && rows > query_.limit_rows) {
+      rows = query_.limit_rows;
+    }
+    node->output_rows = rows;
+    node->output_width_bytes = child->output_width_bytes;
+    node->extra_ops_per_row = query_.extra_ops_per_row;
+    node->left = std::move(child);
+    return node;
+  }
+
+  const Catalog& catalog_;
+  const CostModel& model_;
+  const QuerySpec& query_;
+  const EngineParams& params_;
+  CardinalityModel cards_;
+  MemoryContext mem_;
+};
+
+}  // namespace
+
+OptimizeResult Optimizer::Optimize(const QuerySpec& query,
+                                   const EngineParams& params) const {
+  VDBA_CHECK_EQ(static_cast<int>(ParamsFlavor(params)),
+                static_cast<int>(cost_model_.flavor()));
+  PlanSearch search(catalog_, cost_model_, query, params);
+  return search.Run();
+}
+
+}  // namespace vdba::simdb

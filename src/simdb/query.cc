@@ -1,0 +1,3 @@
+// query.h is header-only; this translation unit exists so the build exposes
+// a stable object for the target and future out-of-line helpers.
+#include "simdb/query.h"

@@ -1,0 +1,42 @@
+// Shared identifiers and constants for the simulated DBMS layer.
+#ifndef VDBA_SIMDB_TYPES_H_
+#define VDBA_SIMDB_TYPES_H_
+
+#include <cstdint>
+
+namespace vdba::simdb {
+
+/// Index of a table within a Catalog.
+using TableId = int32_t;
+
+/// Index of an index within a Catalog.
+using IndexId = int32_t;
+
+inline constexpr TableId kInvalidTable = -1;
+inline constexpr IndexId kInvalidIndex = -1;
+
+/// Database page size. Both simulated engines use 8 KB pages (the
+/// PostgreSQL default; also what the paper's calibration programs read).
+inline constexpr double kPageSizeKb = 8.0;
+inline constexpr double kPageSizeBytes = kPageSizeKb * 1024.0;
+
+/// Which engine personality a DbEngine instance emulates. The two flavors
+/// differ in cost-model vocabulary (Table II vs Table III of the paper),
+/// cost units (sequential-page-fetches vs timerons), memory policies, and
+/// calibration procedure.
+enum class EngineFlavor {
+  kPostgres,
+  kDb2,
+};
+
+inline const char* EngineFlavorName(EngineFlavor flavor) {
+  switch (flavor) {
+    case EngineFlavor::kPostgres: return "PostgreSQL";
+    case EngineFlavor::kDb2: return "DB2";
+  }
+  return "unknown";
+}
+
+}  // namespace vdba::simdb
+
+#endif  // VDBA_SIMDB_TYPES_H_

@@ -1,0 +1,48 @@
+// Workload description: the advisor's unit of input (§3).
+//
+// A workload W_i is a set of SQL statements with frequencies, all collected
+// over the same monitoring interval across tenants (so a "longer" workload
+// means a higher arrival rate, as the paper requires).
+#ifndef VDBA_SIMDB_WORKLOAD_H_
+#define VDBA_SIMDB_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "simdb/query.h"
+
+namespace vdba::simdb {
+
+/// One statement with its frequency of occurrence in the workload.
+struct WorkloadStatement {
+  QuerySpec query;
+  double frequency = 1.0;
+};
+
+/// A DBMS workload (paper notation: W_i).
+struct Workload {
+  std::string name;
+  std::vector<WorkloadStatement> statements;
+
+  /// Total statement executions represented by the workload.
+  double TotalFrequency() const {
+    double f = 0.0;
+    for (const auto& s : statements) f += s.frequency;
+    return f;
+  }
+
+  /// Appends all statements of `other` (used to build the paper's
+  /// "k units of C plus (10-k) units of I" mixes).
+  void Append(const Workload& other) {
+    for (const auto& s : other.statements) statements.push_back(s);
+  }
+
+  /// Appends `copies` copies of one statement.
+  void AddStatement(QuerySpec query, double copies = 1.0) {
+    statements.push_back(WorkloadStatement{std::move(query), copies});
+  }
+};
+
+}  // namespace vdba::simdb
+
+#endif  // VDBA_SIMDB_WORKLOAD_H_

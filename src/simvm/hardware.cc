@@ -1,0 +1,2 @@
+// hardware.h is header-only; translation unit kept for target stability.
+#include "simvm/hardware.h"

@@ -1,0 +1,66 @@
+#include "simvm/hypervisor.h"
+
+#include "util/check.h"
+
+namespace vdba::simvm {
+
+Hypervisor::Hypervisor(PhysicalMachine machine, HypervisorOptions options)
+    : machine_(machine), options_(options), noise_(options.noise_seed) {
+  VDBA_CHECK_GE(options_.io_contention_factor, 1.0);
+}
+
+simdb::RuntimeEnv Hypervisor::MakeEnv(const VmResources& vm) const {
+  VDBA_CHECK_MSG(vm.Valid(), "invalid VM shares %s", vm.ToString().c_str());
+  simdb::RuntimeEnv env;
+  env.cpu_ops_per_sec = vm.CpuOpsPerSec(machine_);
+  env.seq_page_ms = machine_.seq_page_ms;
+  env.rand_page_ms = machine_.rand_page_ms;
+  env.write_page_ms = machine_.write_page_ms;
+  env.log_ms_per_mb = machine_.log_ms_per_mb;
+  env.io_contention = options_.io_contention_factor;
+  return env;
+}
+
+simdb::ExecutionBreakdown Hypervisor::TrueWorkloadBreakdown(
+    const simdb::DbEngine& engine, const simdb::Workload& workload,
+    const VmResources& vm) const {
+  simdb::RuntimeEnv env = MakeEnv(vm);
+  double mem_mb = vm.MemoryMb(machine_);
+  simdb::ExecutionBreakdown total;
+  for (const auto& stmt : workload.statements) {
+    simdb::ExecutionBreakdown one =
+        engine.ExecuteQuery(stmt.query, env, mem_mb);
+    total.cpu_seconds += one.cpu_seconds * stmt.frequency;
+    total.io_seconds += one.io_seconds * stmt.frequency;
+  }
+  return total;
+}
+
+double Hypervisor::TrueWorkloadSeconds(const simdb::DbEngine& engine,
+                                       const simdb::Workload& workload,
+                                       const VmResources& vm) const {
+  return TrueWorkloadBreakdown(engine, workload, vm).total_seconds();
+}
+
+double Hypervisor::RunWorkload(const simdb::DbEngine& engine,
+                               const simdb::Workload& workload,
+                               const VmResources& vm) {
+  return TrueWorkloadSeconds(engine, workload, vm) * Noise();
+}
+
+double Hypervisor::MeasureSeqReadSecPerPage(const VmResources& vm) {
+  simdb::RuntimeEnv env = MakeEnv(vm);
+  return env.seq_page_ms * env.io_contention / 1000.0 * Noise();
+}
+
+double Hypervisor::MeasureRandReadSecPerPage(const VmResources& vm) {
+  simdb::RuntimeEnv env = MakeEnv(vm);
+  return env.rand_page_ms * env.io_contention / 1000.0 * Noise();
+}
+
+double Hypervisor::MeasureCpuSecPerInstr(const VmResources& vm) {
+  simdb::RuntimeEnv env = MakeEnv(vm);
+  return 1.0 / env.cpu_ops_per_sec * Noise();
+}
+
+}  // namespace vdba::simvm

@@ -1,0 +1,14 @@
+#include "simvm/vm.h"
+
+#include <cstdio>
+
+namespace vdba::simvm {
+
+std::string VmResources::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[cpu=%.0f%%, mem=%.0f%%]",
+                cpu_share * 100.0, mem_share * 100.0);
+  return buf;
+}
+
+}  // namespace vdba::simvm

@@ -1,0 +1,37 @@
+// Virtual machine resource shares (the R_i = [r_i1,...,r_iM] of §3,
+// instantiated for M = 2: CPU and memory).
+#ifndef VDBA_SIMVM_VM_H_
+#define VDBA_SIMVM_VM_H_
+
+#include <string>
+
+#include "simvm/hardware.h"
+
+namespace vdba::simvm {
+
+/// Shares of the physical machine allocated to one VM.
+struct VmResources {
+  double cpu_share = 0.5;
+  double mem_share = 0.5;
+
+  /// Effective VM memory in MB on `machine`.
+  double MemoryMb(const PhysicalMachine& machine) const {
+    return mem_share * machine.memory_mb;
+  }
+
+  /// Effective instruction rate on `machine`.
+  double CpuOpsPerSec(const PhysicalMachine& machine) const {
+    return cpu_share * machine.cpu_ops_per_sec;
+  }
+
+  bool Valid() const {
+    return cpu_share > 0.0 && cpu_share <= 1.0 && mem_share > 0.0 &&
+           mem_share <= 1.0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace vdba::simvm
+
+#endif  // VDBA_SIMVM_VM_H_

@@ -1,0 +1,38 @@
+// Invariant-checking macros (always on; this library favours loud failure
+// over silent corruption, matching the database-systems idiom).
+#ifndef VDBA_UTIL_CHECK_H_
+#define VDBA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Active in all build types.
+#define VDBA_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "VDBA_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// VDBA_CHECK with a printf-style explanation.
+#define VDBA_CHECK_MSG(cond, ...)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "VDBA_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define VDBA_CHECK_GT(a, b) VDBA_CHECK((a) > (b))
+#define VDBA_CHECK_GE(a, b) VDBA_CHECK((a) >= (b))
+#define VDBA_CHECK_LT(a, b) VDBA_CHECK((a) < (b))
+#define VDBA_CHECK_LE(a, b) VDBA_CHECK((a) <= (b))
+#define VDBA_CHECK_EQ(a, b) VDBA_CHECK((a) == (b))
+#define VDBA_CHECK_NE(a, b) VDBA_CHECK((a) != (b))
+
+#endif  // VDBA_UTIL_CHECK_H_

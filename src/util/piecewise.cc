@@ -1,0 +1,134 @@
+#include "util/piecewise.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/regression.h"
+
+namespace vdba {
+
+double HyperbolicModel::Eval(const std::vector<double>& shares) const {
+  VDBA_CHECK_EQ(shares.size(), alphas.size());
+  double cost = beta;
+  for (size_t j = 0; j < shares.size(); ++j) {
+    VDBA_CHECK_GT(shares[j], 0.0);
+    cost += alphas[j] / shares[j];
+  }
+  return cost;
+}
+
+void HyperbolicModel::Scale(double factor) {
+  for (double& a : alphas) a *= factor;
+  beta *= factor;
+}
+
+StatusOr<HyperbolicModel> FitHyperbolic(
+    const std::vector<std::vector<double>>& allocations,
+    const std::vector<double>& costs) {
+  if (allocations.empty()) return Status::InvalidArgument("no observations");
+  const size_t dims = allocations[0].size();
+  std::vector<std::vector<double>> features;
+  features.reserve(allocations.size());
+  for (const auto& shares : allocations) {
+    if (shares.size() != dims) {
+      return Status::InvalidArgument("ragged allocation vectors");
+    }
+    std::vector<double> row(dims);
+    for (size_t j = 0; j < dims; ++j) {
+      if (shares[j] <= 0.0) {
+        return Status::InvalidArgument("non-positive resource share");
+      }
+      row[j] = 1.0 / shares[j];
+    }
+    features.push_back(std::move(row));
+  }
+  auto fit = FitMultiLinear(features, costs);
+  if (!fit.ok()) return fit.status();
+  HyperbolicModel model;
+  model.alphas.assign(fit->coefficients.begin(),
+                      fit->coefficients.end() - 1);
+  model.beta = fit->coefficients.back();
+  return model;
+}
+
+void PiecewiseHyperbolicModel::AddSegment(PiecewiseSegment segment) {
+  VDBA_CHECK_LE(segment.lo, segment.hi);
+  if (!segments_.empty()) {
+    VDBA_CHECK_MSG(segments_.back().hi <= segment.lo + 1e-12,
+                   "segments must be added in increasing order");
+  }
+  segments_.push_back(std::move(segment));
+}
+
+size_t PiecewiseHyperbolicModel::SegmentIndexFor(double r) const {
+  VDBA_CHECK(!segments_.empty());
+  double best_distance = 0.0;
+  size_t best = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const auto& s = segments_[i];
+    if (r >= s.lo - 1e-12 && r <= s.hi + 1e-12) return i;
+    double d = r < s.lo ? s.lo - r : r - s.hi;
+    if (i == 0 || d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double PiecewiseHyperbolicModel::Eval(
+    const std::vector<double>& shares) const {
+  VDBA_CHECK_LT(piecewise_dim_, shares.size());
+  const auto& segment = segments_[SegmentIndexFor(shares[piecewise_dim_])];
+  return segment.model.Eval(shares);
+}
+
+void PiecewiseHyperbolicModel::ScaleAll(double factor) {
+  for (auto& s : segments_) s.model.Scale(factor);
+}
+
+void PiecewiseHyperbolicModel::ScaleSegmentAt(double r, double factor) {
+  segments_[SegmentIndexFor(r)].model.Scale(factor);
+}
+
+size_t PiecewiseHyperbolicModel::ResolveGapPoint(
+    double r, const std::vector<double>& shares, double observed_cost) {
+  VDBA_CHECK(!segments_.empty());
+  // Points inside a segment are not gap points.
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (r >= segments_[i].lo - 1e-12 && r <= segments_[i].hi + 1e-12) {
+      return i;
+    }
+  }
+  // Identify the two segments bracketing the gap (or the single closest one
+  // when r lies outside the covered range).
+  size_t below = segments_.size();  // last segment with hi < r
+  size_t above = segments_.size();  // first segment with lo > r
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].hi < r) below = i;
+    if (segments_[i].lo > r) {
+      above = i;
+      break;
+    }
+  }
+  size_t chosen;
+  if (below == segments_.size() && above == segments_.size()) {
+    chosen = SegmentIndexFor(r);  // unreachable given the check above
+  } else if (below == segments_.size()) {
+    chosen = above;
+  } else if (above == segments_.size()) {
+    chosen = below;
+  } else {
+    double err_below =
+        std::fabs(segments_[below].model.Eval(shares) - observed_cost);
+    double err_above =
+        std::fabs(segments_[above].model.Eval(shares) - observed_cost);
+    chosen = err_below <= err_above ? below : above;
+  }
+  // Extend the chosen segment's boundary so that r is covered from now on.
+  if (r < segments_[chosen].lo) segments_[chosen].lo = r;
+  if (r > segments_[chosen].hi) segments_[chosen].hi = r;
+  return chosen;
+}
+
+}  // namespace vdba

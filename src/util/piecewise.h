@@ -1,0 +1,95 @@
+// Hyperbolic ("alpha/r + beta") and piecewise-hyperbolic cost models.
+//
+// Section 5 of the paper models workload cost as
+//     Cost(W, R) = sum_j alpha_j / r_j + beta
+// globally for linearly-modeled resources (CPU), and piecewise over
+// intervals A_k of the memory allocation, where interval boundaries
+// correspond to query-plan changes. These classes implement the pure math;
+// the advisor layers plan signatures and refinement policy on top.
+#ifndef VDBA_UTIL_PIECEWISE_H_
+#define VDBA_UTIL_PIECEWISE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vdba {
+
+/// Cost(R) = sum_j alphas[j] / R[j] + beta. All shares must be > 0.
+struct HyperbolicModel {
+  std::vector<double> alphas;
+  double beta = 0.0;
+
+  double Eval(const std::vector<double>& shares) const;
+
+  /// Multiplies every coefficient by `factor` (the Act/Est refinement step).
+  void Scale(double factor);
+};
+
+/// Fits a HyperbolicModel by OLS on features 1/r_j.
+/// `allocations[i]` is the resource-share vector of observation i.
+StatusOr<HyperbolicModel> FitHyperbolic(
+    const std::vector<std::vector<double>>& allocations,
+    const std::vector<double>& costs);
+
+/// One piece of a piecewise model: allocations of the piecewise dimension in
+/// [lo, hi] use `model`. `label` carries the plan signature that defines the
+/// piece (useful for debugging and tested invariants).
+struct PiecewiseSegment {
+  double lo = 0.0;
+  double hi = 1.0;
+  HyperbolicModel model;
+  std::string label;
+};
+
+/// Piecewise-hyperbolic model over one designated dimension (the paper's
+/// resource M, memory). Segments are disjoint but may leave gaps: the range
+/// between the largest allocation observed with plan k and the smallest
+/// observed with plan k+1 is unresolved; Eval() assigns gap points to the
+/// *closer* segment, and ResolveGapPoint() reassigns using an observed cost
+/// (both rules are from §5.1).
+class PiecewiseHyperbolicModel {
+ public:
+  /// `piecewise_dim` is the index within the allocation vector of the
+  /// dimension that drives segment selection.
+  explicit PiecewiseHyperbolicModel(size_t piecewise_dim = 0)
+      : piecewise_dim_(piecewise_dim) {}
+
+  size_t piecewise_dim() const { return piecewise_dim_; }
+  const std::vector<PiecewiseSegment>& segments() const { return segments_; }
+  std::vector<PiecewiseSegment>* mutable_segments() { return &segments_; }
+
+  /// Adds a segment; segments must be added in increasing [lo, hi] order.
+  void AddSegment(PiecewiseSegment segment);
+
+  bool empty() const { return segments_.empty(); }
+
+  /// Index of the segment used for allocation value `r` of the piecewise
+  /// dimension (containing segment, else closest segment).
+  size_t SegmentIndexFor(double r) const;
+
+  /// Evaluates the model at a full allocation vector.
+  double Eval(const std::vector<double>& shares) const;
+
+  /// Scales every segment (first refinement iteration).
+  void ScaleAll(double factor);
+
+  /// Scales only the segment covering `r` (later refinement iterations).
+  void ScaleSegmentAt(double r, double factor);
+
+  /// Reassigns a gap point to the segment whose estimate is closest to the
+  /// observed cost, extending that segment's boundary to cover `r`.
+  /// Returns the chosen segment index.
+  size_t ResolveGapPoint(double r, const std::vector<double>& shares,
+                         double observed_cost);
+
+ private:
+  size_t piecewise_dim_;
+  std::vector<PiecewiseSegment> segments_;
+};
+
+}  // namespace vdba
+
+#endif  // VDBA_UTIL_PIECEWISE_H_

@@ -1,0 +1,168 @@
+#include "util/regression.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vdba {
+
+namespace {
+
+double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+double RSquared(const std::vector<double>& y,
+                const std::vector<double>& pred) {
+  double ym = Mean(y);
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    ss_tot += (y[i] - ym) * (y[i] - ym);
+    ss_res += (y[i] - pred[i]) * (y[i] - pred[i]);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  double r2 = 1.0 - ss_res / ss_tot;
+  return r2 < 0.0 ? 0.0 : r2;
+}
+
+}  // namespace
+
+StatusOr<LinearFit> FitLinear(const std::vector<double>& x,
+                              const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    return Status::InvalidArgument("degenerate x values (all equal)");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  std::vector<double> pred(x.size());
+  for (size_t i = 0; i < x.size(); ++i) pred[i] = fit.Eval(x[i]);
+  fit.r_squared = RSquared(y, pred);
+  return fit;
+}
+
+StatusOr<LinearFit> FitProportional(const std::vector<double>& x,
+                                    const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (x.empty()) return Status::InvalidArgument("need at least 1 point");
+  double sxx = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  if (sxx < 1e-12) return Status::InvalidArgument("all x are ~0");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = 0.0;
+  std::vector<double> pred(x.size());
+  for (size_t i = 0; i < x.size(); ++i) pred[i] = fit.Eval(x[i]);
+  fit.r_squared = RSquared(y, pred);
+  return fit;
+}
+
+double MultiLinearFit::Eval(const std::vector<double>& features) const {
+  VDBA_CHECK_EQ(features.size() + 1, coefficients.size());
+  double y = coefficients.back();
+  for (size_t i = 0; i < features.size(); ++i) {
+    y += coefficients[i] * features[i];
+  }
+  return y;
+}
+
+StatusOr<std::vector<double>> SolveLinearSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b) {
+  const size_t n = a.size();
+  if (n == 0) return Status::InvalidArgument("empty system");
+  for (const auto& row : a) {
+    if (row.size() != n) return Status::InvalidArgument("non-square matrix");
+  }
+  if (b.size() != n) return Status::InvalidArgument("rhs size mismatch");
+
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("singular matrix");
+    }
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+StatusOr<MultiLinearFit> FitMultiLinear(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& y) {
+  if (rows.size() != y.size()) {
+    return Status::InvalidArgument("rows/y size mismatch");
+  }
+  if (rows.empty()) return Status::InvalidArgument("no observations");
+  const size_t k = rows[0].size();
+  for (const auto& r : rows) {
+    if (r.size() != k) return Status::InvalidArgument("ragged feature rows");
+  }
+  const size_t dim = k + 1;  // + intercept
+  if (rows.size() < dim) {
+    return Status::InvalidArgument("under-determined regression");
+  }
+
+  // Normal equations: (X^T X) c = X^T y, with X augmented by a ones column.
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> xty(dim, 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<double> aug(dim, 1.0);
+    for (size_t j = 0; j < k; ++j) aug[j] = rows[i][j];
+    for (size_t r = 0; r < dim; ++r) {
+      for (size_t c = 0; c < dim; ++c) xtx[r][c] += aug[r] * aug[c];
+      xty[r] += aug[r] * y[i];
+    }
+  }
+  // Tiny ridge term guards against collinear calibration grids without
+  // noticeably biasing well-conditioned fits.
+  for (size_t d = 0; d < dim; ++d) xtx[d][d] += 1e-9;
+
+  auto solved = SolveLinearSystem(xtx, xty);
+  if (!solved.ok()) return solved.status();
+
+  MultiLinearFit fit;
+  fit.coefficients = std::move(solved.value());
+  std::vector<double> pred(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) pred[i] = fit.Eval(rows[i]);
+  fit.r_squared = RSquared(y, pred);
+  return fit;
+}
+
+}  // namespace vdba

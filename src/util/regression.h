@@ -1,0 +1,60 @@
+// Least-squares fitting utilities.
+//
+// The paper uses linear regression in three places: renormalizing DB2
+// timerons to seconds (§4.2), fitting calibration functions Cal_ik over
+// resource allocations (§4.3), and fitting the refinement cost models
+// Cost = sum_j alpha_j / r_j + beta (§5). These helpers cover all three.
+#ifndef VDBA_UTIL_REGRESSION_H_
+#define VDBA_UTIL_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vdba {
+
+/// Result of a one-dimensional fit y ~= slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1]; 1 means perfect fit.
+  double r_squared = 0.0;
+
+  double Eval(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least squares for y = slope*x + intercept.
+/// Requires >= 2 points; with exactly 2 distinct points the fit is exact.
+StatusOr<LinearFit> FitLinear(const std::vector<double>& x,
+                              const std::vector<double>& y);
+
+/// Least squares through the origin: y = slope * x.
+StatusOr<LinearFit> FitProportional(const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+/// Multi-dimensional linear model y ~= c[0]*f0 + ... + c[k-1]*f(k-1) + c[k]
+/// (the last coefficient is the intercept).
+struct MultiLinearFit {
+  std::vector<double> coefficients;  ///< size = n_features + 1 (intercept last)
+  double r_squared = 0.0;
+
+  double Eval(const std::vector<double>& features) const;
+};
+
+/// OLS via normal equations (suitable for the tiny systems used here: at
+/// most a handful of features, tens of observations).
+/// `rows[i]` holds the feature vector for observation i (all equal length).
+StatusOr<MultiLinearFit> FitMultiLinear(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& y);
+
+/// Solves the dense square system A x = b with partial pivoting.
+/// Used by the calibration step that inverts k cost equations for k unknown
+/// optimizer parameters (§4.3 step 3).
+StatusOr<std::vector<double>> SolveLinearSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+}  // namespace vdba
+
+#endif  // VDBA_UTIL_REGRESSION_H_

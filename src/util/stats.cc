@@ -1,0 +1,44 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace vdba {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size()));
+}
+
+double RelativeChange(double a, double b) {
+  if (a == 0.0) return 0.0;
+  return (b - a) / a;
+}
+
+double RelativeError(double est, double act) {
+  if (act == 0.0) return 0.0;
+  return std::fabs(est - act) / act;
+}
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+double Clamp(double x, double lo, double hi) {
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+}  // namespace vdba

@@ -1,0 +1,29 @@
+// Small descriptive-statistics helpers used by benches and monitors.
+#ifndef VDBA_UTIL_STATS_H_
+#define VDBA_UTIL_STATS_H_
+
+#include <vector>
+
+namespace vdba {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& v);
+
+/// Relative change (b - a) / a; 0 when a == 0.
+double RelativeChange(double a, double b);
+
+/// Relative error |est - act| / act; 0 when act == 0.
+double RelativeError(double est, double act);
+
+/// Sum of a vector.
+double Sum(const std::vector<double>& v);
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace vdba
+
+#endif  // VDBA_UTIL_STATS_H_

@@ -1,0 +1,39 @@
+// Fixed-width ASCII table printer used by the bench harnesses so that every
+// reproduced figure/table prints a uniform, diff-able layout.
+#ifndef VDBA_UTIL_TABLE_PRINTER_H_
+#define VDBA_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace vdba {
+
+/// Collects rows of string cells and renders them with column-aligned
+/// padding. Numeric formatting helpers keep bench code terse.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double value, int digits = 2);
+
+  /// Formats a fraction as a percentage string, e.g. 0.237 -> "23.7%".
+  static std::string Pct(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vdba
+
+#endif  // VDBA_UTIL_TABLE_PRINTER_H_

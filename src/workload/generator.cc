@@ -1,0 +1,65 @@
+#include "workload/generator.h"
+
+#include "util/check.h"
+#include "workload/units.h"
+
+namespace vdba::workload {
+
+std::vector<simdb::Workload> MakeRandomUnitMixes(const simdb::Workload& unit_a,
+                                                 const simdb::Workload& unit_b,
+                                                 const UnitMixOptions& options,
+                                                 Rng* rng) {
+  VDBA_CHECK_GE(options.min_units, 1);
+  VDBA_CHECK_GE(options.max_units, options.min_units);
+  std::vector<simdb::Workload> out;
+  out.reserve(static_cast<size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    int units = static_cast<int>(
+        rng->UniformInt(options.min_units, options.max_units));
+    int a_units = static_cast<int>(rng->UniformInt(0, units));
+    int b_units = units - a_units;
+    if (a_units == 0 && b_units == 0) a_units = 1;
+    out.push_back(MixUnits("mix-" + std::to_string(i + 1), unit_a, a_units,
+                           unit_b, b_units));
+  }
+  return out;
+}
+
+MixedWorkloadSet MakeTpccTpchMix(const TpccDatabase& tpcc_db,
+                                 const TpchDatabase& tpch_sf1,
+                                 const TpchDatabase& tpch_sf10,
+                                 int tpcc_count, int tpch_count,
+                                 int max_queries, Rng* rng) {
+  MixedWorkloadSet set;
+  // TPC-C workloads: 2..10 accessed warehouses, 5..10 clients each (§7.6).
+  for (int i = 0; i < tpcc_count; ++i) {
+    int warehouses = static_cast<int>(
+        rng->UniformInt(2, std::min(10, tpcc_db.warehouses)));
+    double clients_per_wh = static_cast<double>(rng->UniformInt(5, 10));
+    double clients = warehouses * clients_per_wh;
+    // Transactions per monitoring interval scale with the driving clients.
+    double tpm = clients * 120.0;
+    simdb::Workload w = MakeTpccWorkload(tpcc_db, tpm, clients, warehouses);
+    w.name = "tpcc-" + std::to_string(i + 1);
+    set.workloads.push_back(std::move(w));
+    set.is_oltp.push_back(true);
+  }
+  // TPC-H workloads: up to `max_queries` random queries; by the paper's
+  // construction, four run at SF 1 and one at SF 10.
+  for (int i = 0; i < tpch_count; ++i) {
+    const TpchDatabase& db = (i == tpch_count - 1) ? tpch_sf10 : tpch_sf1;
+    simdb::Workload w;
+    w.name = std::string("tpch-") + (i == tpch_count - 1 ? "sf10-" : "sf1-") +
+             std::to_string(i + 1);
+    int queries = static_cast<int>(rng->UniformInt(10, max_queries));
+    for (int k = 0; k < queries; ++k) {
+      int number = static_cast<int>(rng->UniformInt(1, 22));
+      w.AddStatement(TpchQuery(db, number), 1.0);
+    }
+    set.workloads.push_back(std::move(w));
+    set.is_oltp.push_back(false);
+  }
+  return set;
+}
+
+}  // namespace vdba::workload

@@ -1,0 +1,47 @@
+// Random-workload generation for the §7.6–7.7 experiments.
+#ifndef VDBA_WORKLOAD_GENERATOR_H_
+#define VDBA_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "simdb/workload.h"
+#include "util/rng.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace vdba::workload {
+
+/// Options for random unit-mix workloads: each workload holds a uniform
+/// number of units in [min_units, max_units], each unit drawn uniformly
+/// from {unit_a, unit_b}.
+struct UnitMixOptions {
+  int count = 10;
+  int min_units = 10;
+  int max_units = 20;
+};
+
+/// Builds `options.count` random two-unit mixes (paper §7.6 first
+/// experiment and §7.7).
+std::vector<simdb::Workload> MakeRandomUnitMixes(const simdb::Workload& unit_a,
+                                                 const simdb::Workload& unit_b,
+                                                 const UnitMixOptions& options,
+                                                 Rng* rng);
+
+/// Builds the §7.6 TPC-C + TPC-H mix: `tpcc_count` TPC-C workloads
+/// (2..10 accessed warehouses, 5..10 clients per warehouse) followed by
+/// `tpch_count` workloads of up to `max_queries` random TPC-H queries.
+struct MixedWorkloadSet {
+  std::vector<simdb::Workload> workloads;
+  /// True at index i if workloads[i] is a TPC-C (OLTP) workload.
+  std::vector<bool> is_oltp;
+};
+MixedWorkloadSet MakeTpccTpchMix(const TpccDatabase& tpcc_db,
+                                 const TpchDatabase& tpch_sf1,
+                                 const TpchDatabase& tpch_sf10,
+                                 int tpcc_count, int tpch_count,
+                                 int max_queries, Rng* rng);
+
+}  // namespace vdba::workload
+
+#endif  // VDBA_WORKLOAD_GENERATOR_H_

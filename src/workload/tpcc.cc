@@ -1,0 +1,180 @@
+#include "workload/tpcc.h"
+
+#include "util/check.h"
+
+namespace vdba::workload {
+
+using simdb::AggregateKind;
+using simdb::Catalog;
+using simdb::IndexDef;
+using simdb::JoinPredicate;
+using simdb::QuerySpec;
+using simdb::RelationRef;
+using simdb::TableDef;
+using simdb::TableId;
+
+namespace {
+
+TableId AddTable(Catalog* cat, const std::string& name, double rows,
+                 double width) {
+  TableDef t;
+  t.name = name;
+  t.rows = rows;
+  t.row_width_bytes = width;
+  return cat->AddTable(std::move(t));
+}
+
+void AddIndex(Catalog* cat, TableId table, const std::string& column,
+              bool clustered) {
+  IndexDef idx;
+  idx.name = column + "_idx";
+  idx.table = table;
+  idx.column = column;
+  idx.clustered = clustered;
+  cat->AddIndex(std::move(idx));
+}
+
+RelationRef IndexedRel(TableId table, double rows_touched, double table_rows,
+                       const std::string& index_column, int npreds) {
+  RelationRef r;
+  r.table = table;
+  r.filter_selectivity = rows_touched / table_rows;
+  r.num_predicates = npreds;
+  r.index_column = index_column;
+  return r;
+}
+
+}  // namespace
+
+TpccTables AppendTpccTables(Catalog* cat, int warehouses) {
+  VDBA_CHECK_GT(warehouses, 0);
+  const double w = warehouses;
+  TpccTables t;
+  t.warehouse = AddTable(cat, "warehouse", w, 89);
+  t.district = AddTable(cat, "district", 10 * w, 95);
+  t.customer = AddTable(cat, "tpcc_customer", 30000 * w, 655);
+  t.history = AddTable(cat, "history", 30000 * w, 46);
+  t.orders = AddTable(cat, "tpcc_orders", 30000 * w, 24);
+  t.new_order = AddTable(cat, "new_order", 9000 * w, 8);
+  t.order_line = AddTable(cat, "order_line", 300000 * w, 54);
+  t.stock = AddTable(cat, "stock", 100000 * w, 306);
+  t.item = AddTable(cat, "item", 100000, 82);
+
+  AddIndex(cat, t.warehouse, "w_id", /*clustered=*/true);
+  AddIndex(cat, t.district, "d_id", /*clustered=*/true);
+  AddIndex(cat, t.customer, "c_id", /*clustered=*/true);
+  AddIndex(cat, t.orders, "o_id", /*clustered=*/true);
+  AddIndex(cat, t.new_order, "no_o_id", /*clustered=*/true);
+  AddIndex(cat, t.order_line, "ol_o_id", /*clustered=*/true);
+  AddIndex(cat, t.stock, "s_id", /*clustered=*/true);
+  AddIndex(cat, t.item, "i_id", /*clustered=*/true);
+  AddIndex(cat, t.customer, "c_last", /*clustered=*/false);
+  return t;
+}
+
+TpccDatabase MakeTpccDatabase(int warehouses) {
+  TpccDatabase db;
+  db.warehouses = warehouses;
+  db.tables = AppendTpccTables(&db.catalog, warehouses);
+  return db;
+}
+
+simdb::QuerySpec TpccQuery(const TpccDatabase& db, TpccTransaction txn,
+                           double clients) {
+  const TpccTables& t = db.tables;
+  const Catalog& cat = db.catalog;
+  auto rows = [&](TableId id) { return cat.table(id).rows; };
+
+  QuerySpec q;
+  q.oltp = true;
+  q.concurrency = clients;
+  switch (txn) {
+    case TpccTransaction::kNewOrder: {
+      // ~10 stock + item point-reads, inserts into orders/new_order/
+      // order_line, stock updates.
+      q.name = "NewOrder";
+      q.relations = {IndexedRel(t.stock, 10, rows(t.stock), "s_id", 1)};
+      q.update.rows_modified = 13.0;  // 10 stock rows + 3 inserts
+      q.update.index_touches_per_row = 2.0;
+      q.update.log_bytes_per_row = 180.0;
+      q.extra_ops_per_row = 20.0;
+      break;
+    }
+    case TpccTransaction::kPayment: {
+      q.name = "Payment";
+      q.relations = {
+          IndexedRel(t.customer, 1, rows(t.customer), "c_id", 1)};
+      q.update.rows_modified = 4.0;  // warehouse/district/customer/history
+      q.update.index_touches_per_row = 1.0;
+      q.update.log_bytes_per_row = 140.0;
+      q.extra_ops_per_row = 10.0;
+      break;
+    }
+    case TpccTransaction::kOrderStatus: {
+      // Read-only: last order of one customer + its order lines.
+      q.name = "OrderStatus";
+      q.relations = {IndexedRel(t.orders, 1, rows(t.orders), "o_id", 1),
+                     IndexedRel(t.order_line, 10, rows(t.order_line),
+                                "ol_o_id", 0)};
+      q.joins = {JoinPredicate{0, 1, 10.0 / rows(t.order_line), "ol_o_id"}};
+      break;
+    }
+    case TpccTransaction::kDelivery: {
+      // Batch of 10 orders: deletes from new_order, updates to orders,
+      // order_line, customer.
+      q.name = "Delivery";
+      q.relations = {IndexedRel(t.new_order, 10, rows(t.new_order), "no_o_id",
+                                1),
+                     IndexedRel(t.order_line, 100, rows(t.order_line),
+                                "ol_o_id", 0)};
+      q.joins = {JoinPredicate{0, 1, 10.0 / rows(t.order_line), "ol_o_id"}};
+      q.update.rows_modified = 130.0;
+      q.update.index_touches_per_row = 1.0;
+      q.update.log_bytes_per_row = 90.0;
+      break;
+    }
+    case TpccTransaction::kStockLevel: {
+      // Recent order lines joined to low-stock items, count distinct.
+      q.name = "StockLevel";
+      q.relations = {IndexedRel(t.order_line, 200, rows(t.order_line),
+                                "ol_o_id", 1),
+                     IndexedRel(t.stock, 200, rows(t.stock), "s_id", 1)};
+      q.joins = {JoinPredicate{0, 1, 1.0 / rows(t.stock), "s_id"}};
+      q.aggregate = {AggregateKind::kScalar, 1, 1, 32, 1.0};
+      break;
+    }
+  }
+  return q;
+}
+
+simdb::Workload MakeTpccWorkload(const TpccDatabase& db, double tpm,
+                                 double clients, int accessed_warehouses) {
+  VDBA_CHECK_GT(tpm, 0.0);
+  VDBA_CHECK_GE(accessed_warehouses, 1);
+  VDBA_CHECK_LE(accessed_warehouses, db.warehouses);
+  simdb::Workload w;
+  w.name = "tpcc-" + std::to_string(accessed_warehouses) + "wh-" +
+           std::to_string(static_cast<int>(clients)) + "cl";
+  // Touching fewer warehouses than exist shrinks the hot working set; the
+  // executor's buffer-residency model sees this through the relations'
+  // selectivities, which are per-database. The concurrency level carries
+  // the contention effect.
+  struct MixEntry {
+    TpccTransaction txn;
+    double fraction;
+  };
+  const MixEntry mix[] = {
+      {TpccTransaction::kNewOrder, 0.45},
+      {TpccTransaction::kPayment, 0.43},
+      {TpccTransaction::kOrderStatus, 0.04},
+      {TpccTransaction::kDelivery, 0.04},
+      {TpccTransaction::kStockLevel, 0.04},
+  };
+  for (const MixEntry& m : mix) {
+    simdb::QuerySpec q = TpccQuery(db, m.txn, clients);
+    w.AddStatement(std::move(q), tpm * m.fraction);
+  }
+  return w;
+}
+
+}  // namespace vdba::workload

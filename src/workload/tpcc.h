@@ -1,0 +1,67 @@
+// TPC-C-shaped schema and transaction templates.
+//
+// Five transaction types with the standard mix. OLTP statements carry
+// update activity and a concurrency level; the executor charges them
+// lock-contention and update/logging CPU that the optimizer cost models do
+// not see — the §7.8 modeling gap that makes the optimizer underestimate
+// the CPU needs of TPC-C workloads.
+#ifndef VDBA_WORKLOAD_TPCC_H_
+#define VDBA_WORKLOAD_TPCC_H_
+
+#include "simdb/catalog.h"
+#include "simdb/query.h"
+#include "simdb/workload.h"
+
+namespace vdba::workload {
+
+/// Table ids of a TPC-C catalog.
+struct TpccTables {
+  simdb::TableId warehouse = simdb::kInvalidTable;
+  simdb::TableId district = simdb::kInvalidTable;
+  simdb::TableId customer = simdb::kInvalidTable;
+  simdb::TableId history = simdb::kInvalidTable;
+  simdb::TableId orders = simdb::kInvalidTable;
+  simdb::TableId new_order = simdb::kInvalidTable;
+  simdb::TableId order_line = simdb::kInvalidTable;
+  simdb::TableId stock = simdb::kInvalidTable;
+  simdb::TableId item = simdb::kInvalidTable;
+};
+
+/// A generated TPC-C database.
+struct TpccDatabase {
+  simdb::Catalog catalog;
+  TpccTables tables;
+  int warehouses = 10;
+};
+
+/// Builds a TPC-C catalog with `warehouses` warehouses (10 -> ~1.3 GB,
+/// matching the paper's tpcc-uva sizing).
+TpccDatabase MakeTpccDatabase(int warehouses);
+
+/// Appends the TPC-C tables and indexes to an existing catalog (used to
+/// host several databases inside one DBMS instance). Returns the handles.
+TpccTables AppendTpccTables(simdb::Catalog* catalog, int warehouses);
+
+/// TPC-C transaction types.
+enum class TpccTransaction {
+  kNewOrder,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+};
+
+/// Template for one transaction type. `clients` is the number of concurrent
+/// terminals driving the database (contention intensity).
+simdb::QuerySpec TpccQuery(const TpccDatabase& db, TpccTransaction txn,
+                           double clients);
+
+/// Standard-mix workload: `tpm` transactions at the TPC-C type frequencies
+/// (45% NewOrder, 43% Payment, 4% each of the rest), driven by `clients`
+/// concurrent terminals over `accessed_warehouses` of the database.
+simdb::Workload MakeTpccWorkload(const TpccDatabase& db, double tpm,
+                                 double clients, int accessed_warehouses);
+
+}  // namespace vdba::workload
+
+#endif  // VDBA_WORKLOAD_TPCC_H_

@@ -1,0 +1,56 @@
+// TPC-H-shaped schema and the 22 benchmark query templates.
+//
+// Row counts match the TPC-H specification at a given scale factor.
+// Query templates are structural descriptions (join graph, selectivities,
+// aggregation shape) whose *relative* resource characteristics match the
+// roles the paper assigns: Q18 CPU-intensive, Q21 long but I/O-bound,
+// Q7 memory-sensitive, Q16 memory-insensitive, Q17 random-I/O-heavy,
+// Q4/Q18 sortheap-sensitive at SF 10 (§7.3–§7.9).
+#ifndef VDBA_WORKLOAD_TPCH_H_
+#define VDBA_WORKLOAD_TPCH_H_
+
+#include <string>
+
+#include "simdb/catalog.h"
+#include "simdb/query.h"
+
+namespace vdba::workload {
+
+/// Table ids of a TPC-H catalog (indexes into the Catalog).
+struct TpchTables {
+  simdb::TableId region = simdb::kInvalidTable;
+  simdb::TableId nation = simdb::kInvalidTable;
+  simdb::TableId supplier = simdb::kInvalidTable;
+  simdb::TableId customer = simdb::kInvalidTable;
+  simdb::TableId part = simdb::kInvalidTable;
+  simdb::TableId partsupp = simdb::kInvalidTable;
+  simdb::TableId orders = simdb::kInvalidTable;
+  simdb::TableId lineitem = simdb::kInvalidTable;
+};
+
+/// A generated TPC-H database: catalog plus table handles.
+struct TpchDatabase {
+  simdb::Catalog catalog;
+  TpchTables tables;
+  double scale_factor = 1.0;
+};
+
+/// Builds a TPC-H catalog at `scale_factor` (1 = ~1 GB raw data) with
+/// primary-key and foreign-key indexes.
+TpchDatabase MakeTpchDatabase(double scale_factor);
+
+/// Appends the TPC-H tables and indexes to an existing catalog (used to
+/// host several databases inside one DBMS instance). Returns the handles.
+TpchTables AppendTpchTables(simdb::Catalog* catalog, double scale_factor);
+
+/// Returns the template for TPC-H query `number` (1..22) against `db`.
+/// VDBA_CHECK-fails on out-of-range numbers.
+simdb::QuerySpec TpchQuery(const TpchDatabase& db, int number);
+
+/// The §7.6 "modified Q18": an added WHERE predicate on the inner query so
+/// the query touches less data and waits less on I/O.
+simdb::QuerySpec TpchQuery18Modified(const TpchDatabase& db);
+
+}  // namespace vdba::workload
+
+#endif  // VDBA_WORKLOAD_TPCH_H_

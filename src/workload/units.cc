@@ -1,0 +1,50 @@
+#include "workload/units.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vdba::workload {
+
+simdb::Workload MakeRepeatedQueryWorkload(const std::string& name,
+                                          const simdb::QuerySpec& query,
+                                          double copies) {
+  VDBA_CHECK_GT(copies, 0.0);
+  simdb::Workload w;
+  w.name = name;
+  w.AddStatement(query, copies);
+  return w;
+}
+
+double CopiesToMatch(const simdb::DbEngine& engine,
+                     const simdb::QuerySpec& query,
+                     const simdb::RuntimeEnv& env, double vm_memory_mb,
+                     double target_seconds) {
+  VDBA_CHECK_GT(target_seconds, 0.0);
+  double one = engine.ExecuteQuery(query, env, vm_memory_mb).total_seconds();
+  VDBA_CHECK_GT(one, 0.0);
+  double copies = std::round(target_seconds / one);
+  return copies < 1.0 ? 1.0 : copies;
+}
+
+simdb::Workload MixUnits(const std::string& name, const simdb::Workload& a,
+                         int a_units, const simdb::Workload& b, int b_units) {
+  VDBA_CHECK_GE(a_units, 0);
+  VDBA_CHECK_GE(b_units, 0);
+  simdb::Workload w;
+  w.name = name;
+  for (const auto& s : a.statements) {
+    if (a_units > 0) {
+      w.AddStatement(s.query, s.frequency * a_units);
+    }
+  }
+  for (const auto& s : b.statements) {
+    if (b_units > 0) {
+      w.AddStatement(s.query, s.frequency * b_units);
+    }
+  }
+  VDBA_CHECK(!w.statements.empty());
+  return w;
+}
+
+}  // namespace vdba::workload

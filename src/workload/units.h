@@ -1,0 +1,38 @@
+// Workload units: the paper's C / I / B / D building blocks (§7.3–7.4).
+//
+// A unit is a small workload (n copies of one query) sized so that two
+// different units have the same completion time at 100% resource
+// allocation — the paper's device for varying resource *intensity* without
+// varying workload *length*. Unit sizes are computed empirically against
+// the simulated engine, mirroring the paper's methodology.
+#ifndef VDBA_WORKLOAD_UNITS_H_
+#define VDBA_WORKLOAD_UNITS_H_
+
+#include <string>
+
+#include "simdb/engine.h"
+#include "simdb/workload.h"
+
+namespace vdba::workload {
+
+/// Workload consisting of `copies` copies of `query`.
+simdb::Workload MakeRepeatedQueryWorkload(const std::string& name,
+                                          const simdb::QuerySpec& query,
+                                          double copies);
+
+/// Number of copies of `query` whose completion time at the given runtime
+/// environment (typically 100% of the machine) matches `target_seconds`.
+/// Returns at least 1.
+double CopiesToMatch(const simdb::DbEngine& engine,
+                     const simdb::QuerySpec& query,
+                     const simdb::RuntimeEnv& env, double vm_memory_mb,
+                     double target_seconds);
+
+/// Workload made of `a_units` copies of unit A plus `b_units` copies of
+/// unit B (the paper's "W = kC + (10-k)I" construction).
+simdb::Workload MixUnits(const std::string& name, const simdb::Workload& a,
+                         int a_units, const simdb::Workload& b, int b_units);
+
+}  // namespace vdba::workload
+
+#endif  // VDBA_WORKLOAD_UNITS_H_

@@ -1,0 +1,153 @@
+#include "calib/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "calib/renormalize.h"
+#include "simdb/cost_model_db2.h"
+#include "simvm/hypervisor.h"
+#include "workload/tpch.h"
+
+namespace vdba::calib {
+namespace {
+
+using simdb::EngineFlavor;
+using simvm::Hypervisor;
+using simvm::VmResources;
+
+simvm::HypervisorOptions QuietOptions() {
+  simvm::HypervisorOptions opts;
+  opts.measurement_noise_sigma = 0.005;
+  return opts;
+}
+
+TEST(RenormalizeTest, RecoversProportionalFactor) {
+  auto f = FitRenormalizationFactor({100, 200, 400}, {1.0, 2.0, 4.0});
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(*f, 0.01, 1e-9);
+}
+
+TEST(RenormalizeTest, RejectsEmptyInput) {
+  EXPECT_FALSE(FitRenormalizationFactor({}, {}).ok());
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  CalibrationTest() : hv_(simvm::PhysicalMachine{}, QuietOptions()) {
+    hv_.machine();
+  }
+  Hypervisor hv_;
+};
+
+TEST_F(CalibrationTest, PgRecoversTrueParameters) {
+  simdb::ExecutionProfile profile;  // PostgreSQL defaults
+  Calibrator cal(&hv_, EngineFlavor::kPostgres, profile);
+  auto model = cal.Calibrate(CalibrationOptions());
+  ASSERT_TRUE(model.ok());
+
+  // Compare against the engine's self-aware ("true") parameters at several
+  // allocations: calibration should land within a few percent.
+  simdb::DbEngine probe("probe", EngineFlavor::kPostgres,
+                        simdb::Catalog(workload::MakeTpchDatabase(1.0).catalog),
+                        profile);
+  for (double share : {0.25, 0.5, 1.0}) {
+    VmResources vm{share, 0.5};
+    simdb::RuntimeEnv env = hv_.MakeEnv(vm);
+    auto truth = std::get<simdb::PgParams>(
+        probe.ActualParams(env, vm.MemoryMb(hv_.machine())));
+    auto calibrated = std::get<simdb::PgParams>(
+        model->ParamsFor(share, vm.MemoryMb(hv_.machine())));
+    EXPECT_NEAR(calibrated.cpu_tuple_cost / truth.cpu_tuple_cost, 1.0, 0.10)
+        << share;
+    EXPECT_NEAR(calibrated.cpu_operator_cost / truth.cpu_operator_cost, 1.0,
+                0.10)
+        << share;
+    EXPECT_NEAR(calibrated.random_page_cost / truth.random_page_cost, 1.0,
+                0.05)
+        << share;
+  }
+  // Renormalization: seconds per sequential page fetch.
+  simdb::RuntimeEnv env = hv_.MakeEnv(VmResources{0.5, 0.5});
+  EXPECT_NEAR(model->seconds_per_native_unit(),
+              env.seq_page_ms * env.io_contention / 1000.0,
+              model->seconds_per_native_unit() * 0.05);
+}
+
+TEST_F(CalibrationTest, Db2RecoversCpuSpeedAndTimeronScale) {
+  simdb::ExecutionProfile profile;
+  profile.sort_mem_boost = 3.0;
+  Calibrator cal(&hv_, EngineFlavor::kDb2, profile);
+  auto model = cal.Calibrate(CalibrationOptions());
+  ASSERT_TRUE(model.ok());
+
+  for (double share : {0.25, 0.5, 1.0}) {
+    auto p = std::get<simdb::Db2Params>(model->ParamsFor(share, 4096));
+    double truth = 1000.0 / (hv_.machine().cpu_ops_per_sec * share);
+    EXPECT_NEAR(p.cpuspeed_ms_per_instr / truth, 1.0, 0.05) << share;
+  }
+  // The hidden timeron scale must be recovered by regression (§4.2).
+  EXPECT_NEAR(model->seconds_per_native_unit(),
+              simdb::Db2CostModel::kMsPerTimeron / 1000.0,
+              model->seconds_per_native_unit() * 0.10);
+}
+
+TEST_F(CalibrationTest, CpuParamsLinearInInverseShare) {
+  // Fig. 5: cpu_tuple_cost varies linearly with 1/(cpu share).
+  simdb::ExecutionProfile profile;
+  Calibrator cal(&hv_, EngineFlavor::kPostgres, profile);
+  std::vector<double> inv, values;
+  for (double share : {0.25, 0.5, 1.0}) {
+    auto v = cal.MeasureCpuParam(VmResources{share, 0.5});
+    ASSERT_TRUE(v.ok());
+    inv.push_back(1.0 / share);
+    values.push_back(*v);
+  }
+  auto fit = FitLinear(inv, values);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST_F(CalibrationTest, CpuParamIndependentOfMemory) {
+  // Figs. 5-6: CPU parameters do not vary (much) with the memory share.
+  simdb::ExecutionProfile profile;
+  Calibrator cal(&hv_, EngineFlavor::kDb2, profile);
+  std::vector<double> values;
+  for (double mem : {0.2, 0.5, 0.8}) {
+    auto v = cal.MeasureCpuParam(VmResources{0.5, mem});
+    ASSERT_TRUE(v.ok());
+    values.push_back(*v);
+  }
+  double spread = (*std::max_element(values.begin(), values.end()) -
+                   *std::min_element(values.begin(), values.end())) /
+                  values[1];
+  EXPECT_LT(spread, 0.05);
+}
+
+TEST_F(CalibrationTest, IoParamIndependentOfCpuAndMemory) {
+  // Figs. 7-8: I/O parameters are allocation-independent.
+  simdb::ExecutionProfile profile;
+  Calibrator cal(&hv_, EngineFlavor::kPostgres, profile);
+  std::vector<double> values;
+  for (double cpu : {0.2, 0.5, 1.0}) {
+    for (double mem : {0.2, 0.8}) {
+      values.push_back(cal.MeasureIoParam(VmResources{cpu, mem}));
+    }
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  for (double v : values) EXPECT_NEAR(v / mean, 1.0, 0.05);
+}
+
+TEST_F(CalibrationTest, TracksSimulatedCostBudget) {
+  // §7.2: calibration is a one-time cost of minutes, not hours.
+  simdb::ExecutionProfile profile;
+  Calibrator cal(&hv_, EngineFlavor::kDb2, profile);
+  ASSERT_TRUE(cal.Calibrate(CalibrationOptions()).ok());
+  EXPECT_GT(cal.simulated_seconds(), 30.0);
+  EXPECT_LT(cal.simulated_seconds(), 1800.0);
+}
+
+}  // namespace
+}  // namespace vdba::calib

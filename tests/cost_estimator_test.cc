@@ -1,0 +1,95 @@
+#include "advisor/cost_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+#include "workload/tpch.h"
+#include "workload/units.h"
+
+namespace vdba::advisor {
+namespace {
+
+class CostEstimatorTest : public ::testing::Test {
+ protected:
+  CostEstimatorTest() {
+    simdb::Workload w1;
+    w1.AddStatement(workload::TpchQuery(tb_.tpch_sf1(), 18), 5.0);
+    simdb::Workload w2;
+    w2.AddStatement(workload::TpchQuery(tb_.tpch_sf1(), 21), 2.0);
+    tenants_.push_back(tb_.MakeTenant(tb_.db2_sf1(), w1));
+    tenants_.push_back(tb_.MakeTenant(tb_.pg_sf1(), w2));
+  }
+  scenario::Testbed tb_;
+  std::vector<Tenant> tenants_;
+};
+
+TEST_F(CostEstimatorTest, EstimatesArePositiveAndMonotoneInCpu) {
+  WhatIfCostEstimator est(tb_.machine(), tenants_);
+  double prev = 1e300;
+  for (double c : {0.1, 0.3, 0.6, 1.0}) {
+    double v = est.EstimateSeconds(0, {c, 0.25});
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(CostEstimatorTest, CacheAvoidsRepeatOptimizerCalls) {
+  WhatIfCostEstimator est(tb_.machine(), tenants_);
+  est.EstimateSeconds(0, {0.5, 0.5});
+  long calls = est.optimizer_calls();
+  EXPECT_GT(calls, 0);
+  for (int i = 0; i < 10; ++i) est.EstimateSeconds(0, {0.5, 0.5});
+  EXPECT_EQ(est.optimizer_calls(), calls);
+  EXPECT_EQ(est.cache_hits(), 10);
+}
+
+TEST_F(CostEstimatorTest, EstimateTracksActualForDssWorkload) {
+  // The calibrated what-if estimator is accurate for DSS (the paper's
+  // premise; errors are injected only for OLTP and DB2 sort memory).
+  WhatIfCostEstimator est(tb_.machine(), tenants_);
+  for (double c : {0.2, 0.5, 1.0}) {
+    simvm::VmResources r{c, 0.25};
+    double estimate = est.EstimateSeconds(0, r);
+    double actual = tb_.TrueSeconds(tenants_[0], r);
+    EXPECT_NEAR(estimate / actual, 1.0, 0.25) << c;
+  }
+}
+
+TEST_F(CostEstimatorTest, ObservationsRecordSignatures) {
+  WhatIfCostEstimator est(tb_.machine(), tenants_);
+  est.EstimateSeconds(0, {0.5, 0.1});
+  est.EstimateSeconds(0, {0.5, 0.9});
+  const auto& obs = est.observations(0);
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_FALSE(obs[0].plan_signature.empty());
+  EXPECT_GT(obs[0].est_seconds, obs[1].est_seconds * 0.999);
+}
+
+TEST_F(CostEstimatorTest, SetWorkloadInvalidatesTenantState) {
+  WhatIfCostEstimator est(tb_.machine(), tenants_);
+  double before = est.EstimateSeconds(0, {0.5, 0.5});
+  simdb::Workload heavier;
+  heavier.AddStatement(workload::TpchQuery(tb_.tpch_sf1(), 18), 50.0);
+  est.SetWorkload(0, heavier);
+  EXPECT_TRUE(est.observations(0).empty());
+  double after = est.EstimateSeconds(0, {0.5, 0.5});
+  EXPECT_GT(after, before * 5.0);
+  // The other tenant's state is untouched.
+  EXPECT_GT(est.EstimateSeconds(1, {0.5, 0.5}), 0.0);
+}
+
+TEST_F(CostEstimatorTest, FrequencyScalesEstimateLinearly) {
+  simdb::Workload w1, w4;
+  w1.AddStatement(workload::TpchQuery(tb_.tpch_sf1(), 6), 1.0);
+  w4.AddStatement(workload::TpchQuery(tb_.tpch_sf1(), 6), 4.0);
+  WhatIfCostEstimator est(
+      tb_.machine(),
+      {tb_.MakeTenant(tb_.pg_sf1(), w1), tb_.MakeTenant(tb_.pg_sf1(), w4)});
+  double e1 = est.EstimateSeconds(0, {0.5, 0.5});
+  double e4 = est.EstimateSeconds(1, {0.5, 0.5});
+  EXPECT_NEAR(e4 / e1, 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace vdba::advisor

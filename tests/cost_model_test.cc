@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simdb/cost_model_db2.h"
+#include "simdb/cost_model_pg.h"
+
+namespace vdba::simdb {
+namespace {
+
+Activity MakeActivity() {
+  Activity a;
+  a.seq_pages = 1000;
+  a.rand_pages = 50;
+  a.spill_pages = 100;
+  a.write_pages = 10;
+  a.tuples = 100000;
+  a.op_evals = 200000;
+  a.index_tuples = 5000;
+  a.rows_returned = 42;   // must NOT be charged
+  a.update_rows = 7;      // must NOT be charged
+  a.log_bytes = 1 << 20;  // must NOT be charged
+  return a;
+}
+
+TEST(PgCostModelTest, NativeCostFollowsTableIIParameters) {
+  PgCostModel model;
+  PgParams p;
+  p.random_page_cost = 4.0;
+  p.cpu_tuple_cost = 0.01;
+  p.cpu_operator_cost = 0.0025;
+  p.cpu_index_tuple_cost = 0.005;
+  Activity a = MakeActivity();
+  double expected = (1000 + 100 + 10) * 1.0 + 50 * 4.0 + 100000 * 0.01 +
+                    200000 * 0.0025 + 5000 * 0.005;
+  EXPECT_NEAR(model.NativeCost(a, p), expected, 1e-9);
+}
+
+TEST(PgCostModelTest, RowReturnIsUnmodeled) {
+  PgCostModel model;
+  PgParams p;
+  Activity a = MakeActivity();
+  double c1 = model.NativeCost(a, p);
+  a.rows_returned *= 1000;
+  a.update_rows *= 1000;
+  a.log_bytes *= 1000;
+  EXPECT_EQ(model.NativeCost(a, p), c1);
+}
+
+TEST(PgCostModelTest, EstimationContextFollowsMemoryKnobs) {
+  PgCostModel model;
+  PgParams p;
+  p.work_mem_mb = 5.0;
+  p.shared_buffers_mb = 320.0;
+  p.effective_cache_size_mb = 128.0;
+  MemoryContext mem = model.EstimationContext(p);
+  EXPECT_NEAR(mem.work_mem_bytes, 5.0 * 1024 * 1024, 1.0);
+  EXPECT_NEAR(mem.buffer_bytes, 448.0 * 1024 * 1024, 1.0);
+  EXPECT_TRUE(std::isinf(mem.modeled_sort_mem_cap_bytes));
+}
+
+TEST(Db2CostModelTest, TimeronsScaleWithCpuSpeed) {
+  Db2CostModel model;
+  Db2Params slow;
+  slow.cpuspeed_ms_per_instr = 1e-6;
+  Db2Params fast = slow;
+  fast.cpuspeed_ms_per_instr = 5e-7;
+  Activity a = MakeActivity();
+  a.seq_pages = a.rand_pages = a.spill_pages = a.write_pages = 0;  // pure CPU
+  EXPECT_NEAR(model.NativeCost(a, slow) / model.NativeCost(a, fast), 2.0,
+              1e-9);
+}
+
+TEST(Db2CostModelTest, RandomIoChargesOverheadPlusTransfer) {
+  Db2CostModel model;
+  Db2Params p;
+  p.cpuspeed_ms_per_instr = 0.0;
+  p.overhead_ms = 6.0;
+  p.transfer_rate_ms = 0.1;
+  Activity a;
+  a.rand_pages = 10;
+  double expected_ms = 10 * (6.0 + 0.1);
+  EXPECT_NEAR(model.NativeCost(a, p) * Db2CostModel::kMsPerTimeron,
+              expected_ms, 1e-9);
+}
+
+TEST(Db2CostModelTest, EstimationDiscountsSortMemory) {
+  Db2CostModel model;
+  Db2Params p;
+  p.sortheap_mb = 548.0;  // knee 48 + 500 beyond
+  p.bufferpool_mb = 1000.0;
+  MemoryContext est = model.EstimationContext(p);
+  // Modeled: 48 + 0.25 * 500 = 173 MB.
+  EXPECT_NEAR(est.work_mem_bytes, 173.0 * 1024 * 1024, 1024.0);
+  // Execution context sees the full sortheap.
+  MemoryContext exec = model.ExecutionContext(p);
+  EXPECT_NEAR(exec.work_mem_bytes, 548.0 * 1024 * 1024, 1024.0);
+  // Below the knee, no discount.
+  p.sortheap_mb = 20.0;
+  EXPECT_NEAR(model.EstimationContext(p).work_mem_bytes, 20.0 * 1024 * 1024,
+              1.0);
+}
+
+TEST(MemoryPolicyTest, PgFollowsTenSixteenthsRule) {
+  PgParams p = MemoryPolicy::ApplyPg(PgParams{}, 1600.0);
+  EXPECT_NEAR(p.shared_buffers_mb, 1000.0, 1e-9);
+  EXPECT_EQ(p.work_mem_mb, 5.0);
+  EXPECT_NEAR(p.effective_cache_size_mb, 1600.0 - 1000.0 - 64.0, 1e-9);
+}
+
+TEST(MemoryPolicyTest, Db2SeventyThirtySplitAfterOsReserve) {
+  Db2Params p = MemoryPolicy::ApplyDb2(Db2Params{}, 1240.0);
+  EXPECT_NEAR(p.bufferpool_mb, 700.0, 1e-9);
+  EXPECT_NEAR(p.sortheap_mb, 300.0, 1e-9);
+}
+
+TEST(MemoryPolicyTest, TinyVmStillGetsMinimumMemory) {
+  Db2Params p = MemoryPolicy::ApplyDb2(Db2Params{}, 100.0);
+  EXPECT_GT(p.bufferpool_mb, 0.0);
+  EXPECT_GT(p.sortheap_mb, 0.0);
+}
+
+TEST(ParamsTest, FlavorDetection) {
+  EXPECT_EQ(ParamsFlavor(EngineParams(PgParams{})), EngineFlavor::kPostgres);
+  EXPECT_EQ(ParamsFlavor(EngineParams(Db2Params{})), EngineFlavor::kDb2);
+}
+
+TEST(ParamsTest, ToStringMentionsKeyParameters) {
+  std::string pg = ParamsToString(EngineParams(PgParams{}));
+  EXPECT_NE(pg.find("random_page_cost"), std::string::npos);
+  std::string db2 = ParamsToString(EngineParams(Db2Params{}));
+  EXPECT_NE(db2.find("sortheap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdba::simdb

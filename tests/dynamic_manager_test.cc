@@ -1,0 +1,133 @@
+#include "advisor/dynamic_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace vdba::advisor {
+namespace {
+
+class DynamicManagerTest : public ::testing::Test {
+ protected:
+  static scenario::Testbed& tb() {
+    static scenario::Testbed testbed;
+    return testbed;
+  }
+
+  // Both tenants run the mixed-catalog DB2 instance so that workloads can
+  // be swapped between them (§7.10).
+  simdb::Workload TpchUnits(double copies) {
+    simdb::Workload w;
+    w.AddStatement(workload::TpchQuery(tb().tpch_mixed(), 18), copies);
+    return w;
+  }
+  simdb::Workload Tpcc() {
+    return workload::MakeTpccWorkload(tb().tpcc_mixed(), 12000, 100, 8);
+  }
+
+  std::unique_ptr<VirtualizationDesignAdvisor> MakeAdvisor(
+      const simdb::Workload& w0, const simdb::Workload& w1) {
+    AdvisorOptions opts;
+    opts.enumerator.allocate_memory = false;
+    std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_mixed(), w0),
+                                   tb().MakeTenant(tb().db2_mixed(), w1)};
+    return std::make_unique<VirtualizationDesignAdvisor>(tb().machine(),
+                                                         tenants, opts);
+  }
+};
+
+TEST_F(DynamicManagerTest, InitializeProducesValidAllocations) {
+  auto adv = MakeAdvisor(TpchUnits(10), Tpcc());
+  DynamicConfigurationManager mgr(adv.get(), tb().hypervisor());
+  auto alloc = mgr.Initialize();
+  ASSERT_EQ(alloc.size(), 2u);
+  EXPECT_TRUE(alloc[0].Valid());
+  EXPECT_TRUE(alloc[1].Valid());
+}
+
+TEST_F(DynamicManagerTest, UnchangedWorkloadIsMinor) {
+  auto adv = MakeAdvisor(TpchUnits(10), Tpcc());
+  DynamicConfigurationManager mgr(adv.get(), tb().hypervisor());
+  mgr.Initialize();
+  PeriodResult r = mgr.EndPeriod({TpchUnits(10), Tpcc()});
+  EXPECT_FALSE(r.major_change[0]);
+  EXPECT_NEAR(r.change_metric[0], 0.0, 1e-6);
+}
+
+TEST_F(DynamicManagerTest, IntensityChangeIsMinor) {
+  // §6.1: the metric is per query, so a higher arrival rate of the SAME
+  // queries is not a change in workload nature.
+  auto adv = MakeAdvisor(TpchUnits(10), Tpcc());
+  DynamicConfigurationManager mgr(adv.get(), tb().hypervisor());
+  mgr.Initialize();
+  PeriodResult r = mgr.EndPeriod({TpchUnits(20), Tpcc()});
+  EXPECT_FALSE(r.major_change[0]);
+  EXPECT_LT(r.change_metric[0], 0.10);
+}
+
+TEST_F(DynamicManagerTest, NatureChangeIsMajor) {
+  // Swapping the DSS workload for OLTP changes the per-query estimate by
+  // far more than theta = 10%.
+  auto adv = MakeAdvisor(TpchUnits(10), Tpcc());
+  DynamicConfigurationManager mgr(adv.get(), tb().hypervisor());
+  mgr.Initialize();
+  simdb::Workload different;
+  different.AddStatement(workload::TpchQuery(tb().tpch_mixed(), 21), 10.0);
+  PeriodResult r = mgr.EndPeriod({different, Tpcc()});
+  EXPECT_TRUE(r.major_change[0]);
+  EXPECT_GT(r.change_metric[0], 0.10);
+}
+
+TEST_F(DynamicManagerTest, ContinuousRefinementNeverDiscards) {
+  auto adv = MakeAdvisor(TpchUnits(10), Tpcc());
+  DynamicOptions opts;
+  opts.policy = ReallocationPolicy::kContinuousRefinement;
+  DynamicConfigurationManager mgr(adv.get(), tb().hypervisor(), opts);
+  mgr.Initialize();
+  simdb::Workload different;
+  different.AddStatement(workload::TpchQuery(tb().tpch_mixed(), 21), 10.0);
+  PeriodResult r = mgr.EndPeriod({different, Tpcc()});
+  EXPECT_FALSE(r.major_change[0]);
+}
+
+TEST_F(DynamicManagerTest, MajorChangeTriggersReallocation) {
+  // Swap the two tenants' workloads (the Figs. 35-36 scenario): after one
+  // period the manager should give the now-DSS tenant the larger CPU
+  // share.
+  auto adv = MakeAdvisor(TpchUnits(20), Tpcc());
+  DynamicConfigurationManager mgr(adv.get(), tb().hypervisor());
+  auto initial = mgr.Initialize();
+
+  // Settle two periods on the original workloads (refinement fixes the
+  // TPC-C underestimation).
+  mgr.EndPeriod({TpchUnits(20), Tpcc()});
+  mgr.EndPeriod({TpchUnits(20), Tpcc()});
+  double tpch_cpu_before = mgr.current_allocations()[0].cpu_share;
+
+  // Swap: tenant 0 now runs TPC-C, tenant 1 runs TPC-H.
+  PeriodResult swap = mgr.EndPeriod({Tpcc(), TpchUnits(20)});
+  EXPECT_TRUE(swap.major_change[0]);
+  EXPECT_TRUE(swap.major_change[1]);
+  // One more period for the re-allocation to act on fresh models.
+  mgr.EndPeriod({Tpcc(), TpchUnits(20)});
+  double tpch_cpu_after = mgr.current_allocations()[1].cpu_share;
+  EXPECT_GT(tpch_cpu_after, mgr.current_allocations()[0].cpu_share);
+  EXPECT_GT(tpch_cpu_before, 0.5);
+  EXPECT_GT(tpch_cpu_after, 0.5);
+}
+
+TEST_F(DynamicManagerTest, ReportsRelativeModelingError) {
+  auto adv = MakeAdvisor(TpchUnits(10), Tpcc());
+  DynamicConfigurationManager mgr(adv.get(), tb().hypervisor());
+  mgr.Initialize();
+  PeriodResult r = mgr.EndPeriod({TpchUnits(10), Tpcc()});
+  ASSERT_EQ(r.relative_error.size(), 2u);
+  // DSS error small; OLTP error large pre-refinement.
+  EXPECT_LT(r.relative_error[0], 0.15);
+  EXPECT_GT(r.relative_error[1], 0.2);
+}
+
+}  // namespace
+}  // namespace vdba::advisor

@@ -1,0 +1,88 @@
+#include "simdb/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/tpch.h"
+
+namespace vdba::simdb {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : db_(workload::MakeTpchDatabase(1.0)),
+        pg_("pg", EngineFlavor::kPostgres, db_.catalog),
+        db2_("db2", EngineFlavor::kDb2, db_.catalog) {}
+
+  RuntimeEnv Env(double cpu_share) const {
+    RuntimeEnv env;
+    env.cpu_ops_per_sec = 2.4e9 * cpu_share;
+    env.io_contention = 1.8;
+    return env;
+  }
+
+  workload::TpchDatabase db_;
+  DbEngine pg_;
+  DbEngine db2_;
+};
+
+TEST_F(EngineTest, FlavorsAndDefaults) {
+  EXPECT_EQ(pg_.flavor(), EngineFlavor::kPostgres);
+  EXPECT_EQ(db2_.flavor(), EngineFlavor::kDb2);
+  EXPECT_TRUE(std::holds_alternative<PgParams>(pg_.DefaultParams()));
+  EXPECT_TRUE(std::holds_alternative<Db2Params>(db2_.DefaultParams()));
+  // The DB2 profile carries the §7.9 spill penalty gap; both engines pay
+  // something for spills, DB2 more so.
+  EXPECT_GT(db2_.profile().spill_io_penalty,
+            pg_.profile().spill_io_penalty);
+}
+
+TEST_F(EngineTest, ActualPgParamsScaleWithCpuShare) {
+  auto p_half = std::get<PgParams>(pg_.ActualParams(Env(0.5), 512));
+  auto p_full = std::get<PgParams>(pg_.ActualParams(Env(1.0), 512));
+  // CPU parameters are expressed relative to a (CPU-independent) page
+  // fetch, so halving the CPU share doubles them.
+  EXPECT_NEAR(p_half.cpu_tuple_cost / p_full.cpu_tuple_cost, 2.0, 1e-6);
+  EXPECT_NEAR(p_half.random_page_cost, p_full.random_page_cost, 1e-9);
+}
+
+TEST_F(EngineTest, ActualDb2ParamsFollowHardware) {
+  auto p = std::get<Db2Params>(db2_.ActualParams(Env(0.5), 1024));
+  EXPECT_NEAR(p.cpuspeed_ms_per_instr, 1000.0 / 1.2e9, 1e-12);
+  EXPECT_NEAR(p.transfer_rate_ms, 0.1 * 1.8, 1e-9);
+  EXPECT_NEAR(p.overhead_ms, (6.0 - 0.1) * 1.8, 1e-9);
+  // Prescriptive parameters follow the §7.1 policy.
+  EXPECT_NEAR(p.bufferpool_mb, (1024 - 240) * 0.7, 1e-6);
+}
+
+TEST_F(EngineTest, WhatIfIsSideEffectFree) {
+  QuerySpec q = workload::TpchQuery(db_, 3);
+  EngineParams params = pg_.DefaultParams();
+  double c1 = pg_.WhatIfOptimize(q, params).native_cost;
+  for (int i = 0; i < 5; ++i) pg_.WhatIfOptimize(q, params);
+  EXPECT_EQ(pg_.WhatIfOptimize(q, params).native_cost, c1);
+}
+
+TEST_F(EngineTest, SelfAwareEstimatesTrackActuals) {
+  // With true (self-aware) parameters, the renormalized estimate of a DSS
+  // query must be close to its actual run time: the simulator's optimizer
+  // error is concentrated in OLTP contention and DB2 sort memory.
+  QuerySpec q = workload::TpchQuery(db_, 1);
+  RuntimeEnv env = Env(0.5);
+  EngineParams params = pg_.ActualParams(env, 512);
+  double native = pg_.WhatIfOptimize(q, params).native_cost;
+  double sec_per_page = env.seq_page_ms * env.io_contention / 1000.0;
+  double est_seconds = native * sec_per_page;
+  double act_seconds = pg_.ExecuteQuery(q, env, 512).total_seconds();
+  EXPECT_NEAR(est_seconds / act_seconds, 1.0, 0.15);
+}
+
+TEST_F(EngineTest, ExecuteIsDeterministic) {
+  QuerySpec q = workload::TpchQuery(db_, 5);
+  double a = db2_.ExecuteQuery(q, Env(0.4), 768).total_seconds();
+  double b = db2_.ExecuteQuery(q, Env(0.4), 768).total_seconds();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace vdba::simdb

@@ -1,0 +1,96 @@
+#include "advisor/exhaustive_enumerator.h"
+
+#include <gtest/gtest.h>
+
+namespace vdba::advisor {
+namespace {
+
+double Objective(const std::vector<simvm::VmResources>& alloc,
+                 const std::vector<double>& alpha_cpu,
+                 const std::vector<double>& alpha_mem) {
+  double total = 0.0;
+  for (size_t i = 0; i < alloc.size(); ++i) {
+    total += alpha_cpu[i] / alloc[i].cpu_share +
+             alpha_mem[i] / alloc[i].mem_share;
+  }
+  return total;
+}
+
+TEST(ExhaustiveTest, FindsGridOptimumForTwoTenants) {
+  std::vector<double> ac = {36, 4}, am = {1, 1};
+  EnumeratorOptions opts;
+  auto res = ExhaustiveSearch(
+      2, [&](const auto& a) { return Objective(a, ac, am); }, opts);
+  ASSERT_TRUE(res.ok());
+  // sqrt(36/4)=3 -> cpu ~ 0.75/0.25.
+  EXPECT_NEAR(res->allocations[0].cpu_share, 0.75, 0.051);
+  EXPECT_GT(res->evaluations, 100);
+}
+
+TEST(ExhaustiveTest, UsesFullBudgetWhenBeneficial) {
+  // Strictly decreasing objective in both shares: optimum saturates the
+  // resource (sum of shares reaches 1 per dimension).
+  std::vector<double> ac = {1, 1}, am = {1, 1};
+  EnumeratorOptions opts;
+  auto res = ExhaustiveSearch(
+      2, [&](const auto& a) { return Objective(a, ac, am); }, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->allocations[0].cpu_share + res->allocations[1].cpu_share,
+              1.0, 1e-9);
+}
+
+TEST(ExhaustiveTest, RejectsLargeN) {
+  EnumeratorOptions opts;
+  auto res = ExhaustiveSearch(
+      5, [](const auto&) { return 1.0; }, opts);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(ExhaustiveTest, CpuOnlyModeFixesMemory) {
+  std::vector<double> ac = {9, 1}, am = {1, 1};
+  EnumeratorOptions opts;
+  opts.allocate_memory = false;
+  auto res = ExhaustiveSearch(
+      2, [&](const auto& a) { return Objective(a, ac, am); }, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->allocations[0].mem_share, 0.5, 1e-9);
+  EXPECT_NEAR(res->allocations[1].mem_share, 0.5, 1e-9);
+  EXPECT_GT(res->allocations[0].cpu_share, 0.6);
+}
+
+TEST(LocalSearchTest, MatchesExhaustiveOnConvexObjective) {
+  std::vector<double> ac = {25, 4, 9}, am = {4, 16, 1};
+  EnumeratorOptions opts;
+  auto objective = [&](const auto& a) { return Objective(a, ac, am); };
+  auto exhaustive = ExhaustiveSearch(3, objective, opts);
+  ASSERT_TRUE(exhaustive.ok());
+  auto local = LocalSearch({DefaultAllocation(3)}, objective, opts);
+  EXPECT_NEAR(local.objective, exhaustive->objective,
+              exhaustive->objective * 0.05);
+}
+
+TEST(LocalSearchTest, MultiStartEscapesPoorStart) {
+  std::vector<double> ac = {50, 1}, am = {1, 1};
+  EnumeratorOptions opts;
+  auto objective = [&](const auto& a) { return Objective(a, ac, am); };
+  // Deliberately bad start (starves the hungry tenant) plus the default.
+  std::vector<std::vector<simvm::VmResources>> starts = {
+      {{0.05, 0.5}, {0.95, 0.5}},
+      DefaultAllocation(2),
+  };
+  auto res = LocalSearch(starts, objective, opts);
+  EXPECT_GT(res.allocations[0].cpu_share, 0.6);
+}
+
+TEST(LocalSearchTest, RespectsMinShare) {
+  std::vector<double> ac = {100, 0.0001}, am = {1, 0.0001};
+  EnumeratorOptions opts;
+  opts.min_share = 0.1;
+  auto objective = [&](const auto& a) { return Objective(a, ac, am); };
+  auto res = LocalSearch({DefaultAllocation(2)}, objective, opts);
+  EXPECT_GE(res.allocations[1].cpu_share, 0.1 - 1e-9);
+  EXPECT_GE(res.allocations[1].mem_share, 0.1 - 1e-9);
+}
+
+}  // namespace
+}  // namespace vdba::advisor

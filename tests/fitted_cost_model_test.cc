@@ -1,0 +1,120 @@
+#include "advisor/fitted_cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace vdba::advisor {
+namespace {
+
+WhatIfObservation Obs(double cpu, double mem, double est,
+                      const std::string& sig) {
+  WhatIfObservation o;
+  o.allocation = {cpu, mem};
+  o.est_seconds = est;
+  o.plan_signature = sig;
+  return o;
+}
+
+/// Observations drawn from two hyperbolic regimes: "planA" below mem 0.5,
+/// "planB" above, as the enumerator's what-if log would contain.
+std::vector<WhatIfObservation> TwoPlanObservations() {
+  std::vector<WhatIfObservation> obs;
+  for (double c : {0.2, 0.4, 0.6, 0.8}) {
+    for (double m : {0.1, 0.2, 0.3, 0.4}) {
+      obs.push_back(Obs(c, m, 10.0 / c + 8.0 / m + 2.0, "planA"));
+    }
+    for (double m : {0.6, 0.7, 0.8, 0.9}) {
+      obs.push_back(Obs(c, m, 10.0 / c + 1.0 / m + 1.0, "planB"));
+    }
+  }
+  return obs;
+}
+
+TEST(FittedCostModelTest, BuildsOneSegmentPerPlan) {
+  FittedCostModel model =
+      FittedCostModel::FromObservations(TwoPlanObservations());
+  EXPECT_EQ(model.num_segments(), 2u);
+}
+
+TEST(FittedCostModelTest, ReproducesEstimatesWithinSegments) {
+  FittedCostModel model =
+      FittedCostModel::FromObservations(TwoPlanObservations());
+  EXPECT_NEAR(model.Eval({0.5, 0.25}), 10.0 / 0.5 + 8.0 / 0.25 + 2.0, 0.5);
+  EXPECT_NEAR(model.Eval({0.5, 0.8}), 10.0 / 0.5 + 1.0 / 0.8 + 1.0, 0.5);
+}
+
+TEST(FittedCostModelTest, ScaleAllShiftsEverySegment) {
+  FittedCostModel model =
+      FittedCostModel::FromObservations(TwoPlanObservations());
+  double lo = model.Eval({0.5, 0.25});
+  double hi = model.Eval({0.5, 0.8});
+  model.ScaleAll(1.3);
+  EXPECT_NEAR(model.Eval({0.5, 0.25}), lo * 1.3, 1e-6);
+  EXPECT_NEAR(model.Eval({0.5, 0.8}), hi * 1.3, 1e-6);
+}
+
+TEST(FittedCostModelTest, ScaleSegmentTouchesOnlyCoveringInterval) {
+  FittedCostModel model =
+      FittedCostModel::FromObservations(TwoPlanObservations());
+  double lo = model.Eval({0.5, 0.25});
+  double hi = model.Eval({0.5, 0.8});
+  model.ScaleSegmentAt(0.8, 2.0);
+  EXPECT_NEAR(model.Eval({0.5, 0.25}), lo, 1e-6);
+  EXPECT_NEAR(model.Eval({0.5, 0.8}), hi * 2.0, 1e-6);
+}
+
+TEST(FittedCostModelTest, RefitsFromActualObservations) {
+  FittedCostModel model =
+      FittedCostModel::FromObservations(TwoPlanObservations());
+  // Feed three actuals in the planB interval drawn from a very different
+  // truth (alpha_cpu 40): the model must refit and match it.
+  auto truth = [](double c, double m) { return 40.0 / c + 2.0 / m + 3.0; };
+  EXPECT_FALSE(model.AddActualObservation({0.3, 0.7}, truth(0.3, 0.7)));
+  EXPECT_FALSE(model.AddActualObservation({0.6, 0.8}, truth(0.6, 0.8)));
+  bool refit = model.AddActualObservation({0.9, 0.9}, truth(0.9, 0.9));
+  EXPECT_TRUE(refit);
+  EXPECT_EQ(model.ObservationsAt(0.8), 3);
+  EXPECT_NEAR(model.Eval({0.5, 0.75}), truth(0.5, 0.75),
+              truth(0.5, 0.75) * 0.05);
+  // The planA interval still reflects the optimizer fit.
+  EXPECT_NEAR(model.Eval({0.5, 0.25}), 10.0 / 0.5 + 8.0 / 0.25 + 2.0, 0.5);
+}
+
+TEST(FittedCostModelTest, EvalNeverReturnsNonPositive) {
+  FittedCostModel model =
+      FittedCostModel::FromObservations(TwoPlanObservations());
+  model.ScaleAll(1e-9);
+  EXPECT_GT(model.Eval({1.0, 1.0}), 0.0);
+}
+
+TEST(FittedCostModelTest, SingleSignatureYieldsOneGlobalSegment) {
+  std::vector<WhatIfObservation> obs;
+  for (double c : {0.2, 0.5, 0.8, 1.0}) {
+    for (double m : {0.2, 0.5, 0.8}) {
+      obs.push_back(Obs(c, m, 5.0 / c + 3.0 / m, "only"));
+    }
+  }
+  FittedCostModel model = FittedCostModel::FromObservations(obs);
+  EXPECT_EQ(model.num_segments(), 1u);
+  EXPECT_NEAR(model.Eval({0.5, 0.5}), 16.0, 0.3);
+}
+
+TEST(ModelCostEstimatorTest, DelegatesToModelsAndFallback) {
+  FittedCostModel model =
+      FittedCostModel::FromObservations(TwoPlanObservations());
+
+  class FixedEstimator : public CostEstimator {
+   public:
+    double EstimateSeconds(int, const simvm::VmResources&) override {
+      return 123.0;
+    }
+    int num_tenants() const override { return 2; }
+  } fallback;
+
+  ModelCostEstimator est({&model, nullptr}, &fallback);
+  EXPECT_EQ(est.num_tenants(), 2);
+  EXPECT_GT(est.EstimateSeconds(0, {0.5, 0.5}), 0.0);
+  EXPECT_EQ(est.EstimateSeconds(1, {0.5, 0.5}), 123.0);
+}
+
+}  // namespace
+}  // namespace vdba::advisor

@@ -1,0 +1,72 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/units.h"
+
+namespace vdba::workload {
+namespace {
+
+TEST(GeneratorTest, UnitMixesRespectBounds) {
+  TpchDatabase db = MakeTpchDatabase(1.0);
+  simdb::Workload a = MakeRepeatedQueryWorkload("a", TpchQuery(db, 18), 2.0);
+  simdb::Workload b = MakeRepeatedQueryWorkload("b", TpchQuery(db, 21), 1.0);
+  UnitMixOptions opts;
+  opts.count = 10;
+  opts.min_units = 10;
+  opts.max_units = 20;
+  Rng rng(7);
+  auto mixes = MakeRandomUnitMixes(a, b, opts, &rng);
+  ASSERT_EQ(mixes.size(), 10u);
+  for (const auto& w : mixes) {
+    // Total units = freq_a/2 + freq_b/1 within [10, 20].
+    double units = 0.0;
+    for (const auto& s : w.statements) {
+      units += s.query.name == "Q18" ? s.frequency / 2.0 : s.frequency;
+    }
+    EXPECT_GE(units, 10.0);
+    EXPECT_LE(units, 20.0);
+    EXPECT_FALSE(w.statements.empty());
+  }
+}
+
+TEST(GeneratorTest, MixesAreSeedDeterministic) {
+  TpchDatabase db = MakeTpchDatabase(1.0);
+  simdb::Workload a = MakeRepeatedQueryWorkload("a", TpchQuery(db, 18), 2.0);
+  simdb::Workload b = MakeRepeatedQueryWorkload("b", TpchQuery(db, 21), 1.0);
+  UnitMixOptions opts;
+  Rng rng1(42), rng2(42);
+  auto m1 = MakeRandomUnitMixes(a, b, opts, &rng1);
+  auto m2 = MakeRandomUnitMixes(a, b, opts, &rng2);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (size_t i = 0; i < m1.size(); ++i) {
+    ASSERT_EQ(m1[i].statements.size(), m2[i].statements.size());
+    for (size_t s = 0; s < m1[i].statements.size(); ++s) {
+      EXPECT_EQ(m1[i].statements[s].frequency, m2[i].statements[s].frequency);
+    }
+  }
+}
+
+TEST(GeneratorTest, TpccTpchMixHasRequestedComposition) {
+  TpccDatabase tpcc = MakeTpccDatabase(10);
+  TpchDatabase sf1 = MakeTpchDatabase(1.0);
+  TpchDatabase sf10 = MakeTpchDatabase(10.0);
+  Rng rng(11);
+  MixedWorkloadSet set = MakeTpccTpchMix(tpcc, sf1, sf10, 5, 5, 40, &rng);
+  ASSERT_EQ(set.workloads.size(), 10u);
+  ASSERT_EQ(set.is_oltp.size(), 10u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(set.is_oltp[static_cast<size_t>(i)]);
+    EXPECT_TRUE(set.workloads[static_cast<size_t>(i)].statements[0].query.oltp);
+  }
+  for (int i = 5; i < 10; ++i) {
+    EXPECT_FALSE(set.is_oltp[static_cast<size_t>(i)]);
+    // 10..40 TPC-H queries each.
+    size_t n = set.workloads[static_cast<size_t>(i)].statements.size();
+    EXPECT_GE(n, 10u);
+    EXPECT_LE(n, 40u);
+  }
+}
+
+}  // namespace
+}  // namespace vdba::workload

@@ -1,0 +1,173 @@
+#include "advisor/greedy_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/piecewise.h"
+
+namespace vdba::advisor {
+namespace {
+
+/// Synthetic estimator: Cost_i(R) = alpha_cpu[i]/cpu + alpha_mem[i]/mem +
+/// beta[i]. Lets greedy behaviour be verified against closed-form optima.
+class SyntheticEstimator : public CostEstimator {
+ public:
+  SyntheticEstimator(std::vector<double> alpha_cpu,
+                     std::vector<double> alpha_mem, std::vector<double> beta)
+      : alpha_cpu_(std::move(alpha_cpu)),
+        alpha_mem_(std::move(alpha_mem)),
+        beta_(std::move(beta)) {}
+
+  double EstimateSeconds(int tenant, const simvm::VmResources& r) override {
+    ++calls_;
+    size_t i = static_cast<size_t>(tenant);
+    return alpha_cpu_[i] / r.cpu_share + alpha_mem_[i] / r.mem_share +
+           beta_[i];
+  }
+  int num_tenants() const override {
+    return static_cast<int>(alpha_cpu_.size());
+  }
+  long calls() const { return calls_; }
+
+ private:
+  std::vector<double> alpha_cpu_, alpha_mem_, beta_;
+  long calls_ = 0;
+};
+
+TEST(GreedyTest, DefaultAllocationIsEqualShares) {
+  auto alloc = DefaultAllocation(4);
+  ASSERT_EQ(alloc.size(), 4u);
+  for (const auto& r : alloc) {
+    EXPECT_NEAR(r.cpu_share, 0.25, 1e-12);
+    EXPECT_NEAR(r.mem_share, 0.25, 1e-12);
+  }
+}
+
+TEST(GreedyTest, SymmetricWorkloadsKeepEqualShares) {
+  SyntheticEstimator est({10, 10}, {5, 5}, {1, 1});
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.allocations[0].cpu_share, 0.5, 1e-9);
+  EXPECT_NEAR(res.allocations[1].cpu_share, 0.5, 1e-9);
+  EXPECT_EQ(res.iterations, 1);  // immediately no beneficial move
+}
+
+TEST(GreedyTest, CpuHungryTenantGetsMoreCpu) {
+  // alpha_cpu 40 vs 5: equilibrium cpu1/cpu2 = sqrt(40/5) ~ 2.8.
+  SyntheticEstimator est({40, 5}, {1, 1}, {0, 0});
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
+  EXPECT_GT(res.allocations[0].cpu_share, 0.65);
+  EXPECT_LT(res.allocations[1].cpu_share, 0.35);
+  // Shares remain a partition of the resource.
+  EXPECT_NEAR(res.allocations[0].cpu_share + res.allocations[1].cpu_share,
+              1.0, 1e-9);
+}
+
+TEST(GreedyTest, SharesSumToAtMostOnePerResource) {
+  SyntheticEstimator est({8, 3, 12, 1}, {2, 9, 1, 4}, {0, 0, 0, 0});
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(&est,
+                        {QosSpec{}, QosSpec{}, QosSpec{}, QosSpec{}});
+  double cpu = 0.0, mem = 0.0;
+  for (const auto& r : res.allocations) {
+    cpu += r.cpu_share;
+    mem += r.mem_share;
+    EXPECT_GE(r.cpu_share, greedy.options().min_share - 1e-9);
+    EXPECT_GE(r.mem_share, greedy.options().min_share - 1e-9);
+  }
+  EXPECT_LE(cpu, 1.0 + 1e-9);
+  EXPECT_LE(mem, 1.0 + 1e-9);
+}
+
+TEST(GreedyTest, EachIterationReducesObjective) {
+  SyntheticEstimator est({40, 5}, {1, 20}, {0, 0});
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
+  // Converged objective must beat the default allocation's objective.
+  double def_obj = est.EstimateSeconds(0, {0.5, 0.5}) +
+                   est.EstimateSeconds(1, {0.5, 0.5});
+  EXPECT_LT(res.objective, def_obj);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(GreedyTest, RespectsDegradationLimit) {
+  // Tenant 0 is CPU-hungry; without QoS it would squeeze tenant 1 to a
+  // degradation of ~3.9x. A limit of 2.5 must cap the squeeze. (Like the
+  // paper's Figure-11 algorithm, limits only constrain REMOVALS: the
+  // default allocation must itself satisfy the limit, which it does here:
+  // degradation at [0.5, 0.5] is 12/6 = 2.)
+  SyntheticEstimator est({40, 5}, {1, 1}, {0, 0});
+  QosSpec limited;
+  limited.degradation_limit = 2.5;  // vs Cost([1,1]) = 6 -> max 15
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(&est, {QosSpec{}, limited});
+  double cost1 = res.tenant_costs[1];
+  double full1 = est.EstimateSeconds(1, {1.0, 1.0});
+  EXPECT_LE(cost1 / full1, 2.5 + 1e-6);
+  EXPECT_TRUE(res.violated_qos.empty());
+
+  // Without the limit, tenant 1 ends up worse than 2.5x.
+  auto free_res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
+  EXPECT_GT(free_res.tenant_costs[1] / full1, 2.5);
+}
+
+TEST(GreedyTest, ImpossibleLimitReportedAsViolated) {
+  // Degradation limit 1.0 means "no worse than having the whole machine" —
+  // unattainable when sharing with anyone.
+  SyntheticEstimator est({10, 10}, {5, 5}, {0, 0});
+  QosSpec impossible;
+  impossible.degradation_limit = 1.0;
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(&est, {impossible, impossible});
+  EXPECT_EQ(res.violated_qos.size(), 2u);
+}
+
+TEST(GreedyTest, GainFactorSkewsAllocation) {
+  SyntheticEstimator est({10, 10}, {1, 1}, {0, 0});
+  QosSpec boosted;
+  boosted.gain_factor = 5.0;
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(&est, {boosted, QosSpec{}});
+  EXPECT_GT(res.allocations[0].cpu_share, res.allocations[1].cpu_share);
+}
+
+TEST(GreedyTest, CpuOnlyModeLeavesMemoryUntouched) {
+  SyntheticEstimator est({40, 5}, {30, 2}, {0, 0});
+  EnumeratorOptions opts;
+  opts.allocate_memory = false;
+  GreedyEnumerator greedy(opts);
+  std::vector<simvm::VmResources> init = {{0.5, 0.3}, {0.5, 0.3}};
+  auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}}, init);
+  EXPECT_NEAR(res.allocations[0].mem_share, 0.3, 1e-12);
+  EXPECT_NEAR(res.allocations[1].mem_share, 0.3, 1e-12);
+  EXPECT_NE(res.allocations[0].cpu_share, 0.5);
+}
+
+TEST(GreedyTest, ConvergesWithinIterationCap) {
+  SyntheticEstimator est({100, 1, 50, 2, 25}, {1, 80, 2, 40, 4},
+                         {0, 0, 0, 0, 0});
+  GreedyEnumerator greedy;
+  auto res = greedy.Run(
+      &est, std::vector<QosSpec>(5));
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, greedy.options().max_iterations);
+}
+
+TEST(GreedyTest, NearClosedFormOptimumForTwoTenants) {
+  // For Cost = a_i/c_i with c_1 + c_2 = 1 the optimum satisfies
+  // c_1/c_2 = sqrt(a_1/a_2).
+  SyntheticEstimator est({36, 4}, {1, 1}, {0, 0});
+  EnumeratorOptions opts;
+  opts.delta = 0.01;  // fine grid for accuracy
+  opts.min_share = 0.01;
+  GreedyEnumerator greedy(opts);
+  auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
+  double expected = std::sqrt(36.0 / 4.0) / (1.0 + std::sqrt(36.0 / 4.0));
+  EXPECT_NEAR(res.allocations[0].cpu_share, expected, 0.03);
+}
+
+}  // namespace
+}  // namespace vdba::advisor

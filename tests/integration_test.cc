@@ -1,0 +1,158 @@
+// End-to-end integration tests: the full §7 pipeline — calibrate, build
+// tenants, recommend, measure, refine, manage dynamically — in miniature.
+#include <gtest/gtest.h>
+
+#include "advisor/dynamic_manager.h"
+#include "advisor/refinement.h"
+#include "scenario/scenario.h"
+#include "workload/generator.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+
+namespace vdba {
+namespace {
+
+using advisor::Recommendation;
+using advisor::Tenant;
+using advisor::VirtualizationDesignAdvisor;
+
+scenario::Testbed& tb() {
+  static scenario::Testbed testbed;
+  return testbed;
+}
+
+TEST(IntegrationTest, MotivatingExampleShape) {
+  // Fig. 2: PG/Q17 + DB2/Q18 on SF10. The advisor must shift CPU and
+  // memory towards DB2, hurt PostgreSQL only mildly, and improve overall.
+  simdb::Workload wpg;
+  wpg.AddStatement(workload::TpchQuery(tb().tpch_sf10(), 17), 1.0);
+  simdb::Workload wdb2;
+  wdb2.AddStatement(workload::TpchQuery(tb().tpch_sf10(), 18), 1.0);
+  std::vector<Tenant> tenants = {tb().MakeTenant(tb().pg_sf10(), wpg),
+                                 tb().MakeTenant(tb().db2_sf10(), wdb2)};
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  Recommendation rec = adv.Recommend();
+
+  EXPECT_LT(rec.allocations[0].cpu_share, 0.35);  // paper: 15% to PG
+  EXPECT_GT(rec.allocations[1].cpu_share, 0.65);  // paper: 85% to DB2
+
+  auto def = advisor::DefaultAllocation(2);
+  double pg_def = tb().TrueSeconds(tenants[0], def[0]);
+  double pg_rec = tb().TrueSeconds(tenants[0], rec.allocations[0]);
+  double db_def = tb().TrueSeconds(tenants[1], def[1]);
+  double db_rec = tb().TrueSeconds(tenants[1], rec.allocations[1]);
+
+  double pg_delta = (pg_def - pg_rec) / pg_def;    // paper: -7%
+  double db_delta = (db_def - db_rec) / db_def;    // paper: +55%
+  double overall = ((pg_def + db_def) - (pg_rec + db_rec)) / (pg_def + db_def);
+
+  EXPECT_GT(pg_delta, -0.35);  // mild degradation only
+  EXPECT_GT(db_delta, 0.15);   // large gain
+  EXPECT_GT(overall, 0.10);    // paper: 24% overall
+}
+
+TEST(IntegrationTest, RandomMixesNeverLoseToDefault) {
+  // §7.6 shape: across random unit mixes the advisor's actual improvement
+  // over the default allocation is non-negative.
+  simdb::Workload unit_c = tb().CpuIntensiveUnit(tb().db2_sf1(), tb().tpch_sf1());
+  simdb::Workload unit_i = tb().CpuLazyUnit(tb().db2_sf1(), tb().tpch_sf1());
+  Rng rng(2024);
+  workload::UnitMixOptions opts;
+  opts.count = 6;
+  auto mixes = workload::MakeRandomUnitMixes(unit_c, unit_i, opts, &rng);
+
+  for (int n : {2, 4, 6}) {
+    std::vector<Tenant> tenants;
+    for (int i = 0; i < n; ++i) {
+      tenants.push_back(
+          tb().MakeTenant(tb().db2_sf1(), mixes[static_cast<size_t>(i)]));
+    }
+    advisor::AdvisorOptions aopts;
+    aopts.enumerator.allocate_memory = false;
+    VirtualizationDesignAdvisor adv(tb().machine(), tenants, aopts);
+    advisor::GreedyEnumerator greedy(aopts.enumerator);
+    std::vector<simvm::VmResources> init(
+        static_cast<size_t>(n),
+        simvm::VmResources{1.0 / n, tb().CpuExperimentMemShare()});
+    auto res = greedy.Run(adv.estimator(), adv.QosList(), init);
+    double t_init = tb().TrueTotalSeconds(tenants, init);
+    double t_rec = tb().TrueTotalSeconds(tenants, res.allocations);
+    // Pre-refinement recommendations may lose a little on actuals (the
+    // §7.8-7.9 estimation gaps); they must never lose badly.
+    EXPECT_GE((t_init - t_rec) / t_init, -0.08) << n;
+  }
+}
+
+TEST(IntegrationTest, FullPipelineWithRefinementBeatsAdvisorAlone) {
+  // TPC-C + TPC-H consolidation, CPU only: static advisor -> refinement.
+  simdb::Workload tpcc =
+      workload::MakeTpccWorkload(tb().tpcc(), 12000, 100, 8);
+  simdb::Workload tpch;
+  tpch.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18), 15.0);
+  tpch.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 21), 5.0);
+  std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_tpcc(), tpcc),
+                                 tb().MakeTenant(tb().db2_sf1(), tpch)};
+  advisor::AdvisorOptions opts;
+  opts.enumerator.allocate_memory = false;
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
+  advisor::OnlineRefinement refine(&adv, tb().hypervisor());
+  advisor::RefinementResult res = refine.Run();
+  double pre = tb().ActualImprovement(tenants, res.initial_allocations);
+  double post = tb().ActualImprovement(tenants, res.final_allocations);
+  EXPECT_GE(post, pre);
+  EXPECT_GT(post, 0.0);
+}
+
+TEST(IntegrationTest, DynamicManagementSurvivesWorkloadSwap) {
+  // Figs. 35-36 in miniature: grow TPC-H each period, swap at period 3.
+  // Both tenants run the mixed-catalog DB2 instance so the swap is a pure
+  // workload change.
+  simdb::Workload tpcc =
+      workload::MakeTpccWorkload(tb().tpcc_mixed(), 12000, 100, 8);
+  auto tpch_units = [&](double k) {
+    simdb::Workload w;
+    w.AddStatement(workload::TpchQuery(tb().tpch_mixed(), 18), 10.0 + k);
+    return w;
+  };
+  std::vector<Tenant> tenants = {
+      tb().MakeTenant(tb().db2_mixed(), tpch_units(0)),
+      tb().MakeTenant(tb().db2_mixed(), tpcc)};
+  advisor::AdvisorOptions opts;
+  opts.enumerator.allocate_memory = false;
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
+  advisor::DynamicConfigurationManager mgr(&adv, tb().hypervisor());
+  mgr.Initialize();
+
+  std::vector<double> improvements;
+  for (int period = 1; period <= 6; ++period) {
+    std::vector<simdb::Workload> observed;
+    if (period < 3) {
+      observed = {tpch_units(period), tpcc};
+    } else {
+      observed = {tpcc, tpch_units(period)};  // swapped
+    }
+    auto current = mgr.current_allocations();
+    std::vector<Tenant> observed_tenants = {
+        tb().MakeTenant(tb().db2_mixed(), observed[0]),
+        tb().MakeTenant(tb().db2_mixed(), observed[1])};
+    double t_cur = tb().TrueTotalSeconds(observed_tenants, current);
+    double t_def =
+        tb().TrueTotalSeconds(observed_tenants, advisor::DefaultAllocation(2));
+    improvements.push_back((t_def - t_cur) / t_def);
+    mgr.EndPeriod(observed);
+  }
+  // After recovering from the swap the manager must be at least as good as
+  // the default allocation again.
+  EXPECT_GT(improvements.back(), -0.02);
+}
+
+TEST(IntegrationTest, CalibrationCostsMatchPaperScale) {
+  // §7.2: one-time calibration cost of single-digit minutes per engine.
+  EXPECT_LT(tb().pg_calibration_seconds(), 1500.0);
+  EXPECT_LT(tb().db2_calibration_seconds(), 1200.0);
+  EXPECT_GT(tb().pg_calibration_seconds(), 60.0);
+  EXPECT_GT(tb().db2_calibration_seconds(), 60.0);
+}
+
+}  // namespace
+}  // namespace vdba

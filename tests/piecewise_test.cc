@@ -1,0 +1,124 @@
+#include "util/piecewise.h"
+
+#include <gtest/gtest.h>
+
+namespace vdba {
+namespace {
+
+HyperbolicModel MakeModel(double a_cpu, double a_mem, double beta) {
+  HyperbolicModel m;
+  m.alphas = {a_cpu, a_mem};
+  m.beta = beta;
+  return m;
+}
+
+TEST(HyperbolicModelTest, EvalMatchesFormula) {
+  HyperbolicModel m = MakeModel(10.0, 4.0, 3.0);
+  // 10/0.5 + 4/0.25 + 3 = 20 + 16 + 3.
+  EXPECT_NEAR(m.Eval({0.5, 0.25}), 39.0, 1e-9);
+}
+
+TEST(HyperbolicModelTest, ScaleMultipliesEverything) {
+  HyperbolicModel m = MakeModel(10.0, 4.0, 3.0);
+  m.Scale(2.0);
+  EXPECT_NEAR(m.Eval({1.0, 1.0}), 34.0, 1e-9);
+}
+
+TEST(FitHyperbolicTest, RecoversCoefficients) {
+  HyperbolicModel truth = MakeModel(12.0, 6.0, 5.0);
+  std::vector<std::vector<double>> allocations;
+  std::vector<double> costs;
+  for (double c = 0.2; c <= 1.01; c += 0.2) {
+    for (double m = 0.2; m <= 1.01; m += 0.2) {
+      allocations.push_back({c, m});
+      costs.push_back(truth.Eval({c, m}));
+    }
+  }
+  auto fit = FitHyperbolic(allocations, costs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alphas[0], 12.0, 1e-6);
+  EXPECT_NEAR(fit->alphas[1], 6.0, 1e-6);
+  EXPECT_NEAR(fit->beta, 5.0, 1e-5);
+}
+
+TEST(FitHyperbolicTest, RejectsNonPositiveShares) {
+  EXPECT_FALSE(FitHyperbolic({{0.0, 0.5}}, {1.0}).ok());
+}
+
+class PiecewiseModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = PiecewiseHyperbolicModel(/*piecewise_dim=*/1);
+    PiecewiseSegment s1;
+    s1.lo = 0.1;
+    s1.hi = 0.4;
+    s1.model = MakeModel(10.0, 2.0, 1.0);
+    s1.label = "planA";
+    PiecewiseSegment s2;
+    s2.lo = 0.6;
+    s2.hi = 0.9;
+    s2.model = MakeModel(10.0, 0.5, 0.5);
+    s2.label = "planB";
+    model_.AddSegment(s1);
+    model_.AddSegment(s2);
+  }
+  PiecewiseHyperbolicModel model_{1};
+};
+
+TEST_F(PiecewiseModelTest, SegmentLookupInside) {
+  EXPECT_EQ(model_.SegmentIndexFor(0.2), 0u);
+  EXPECT_EQ(model_.SegmentIndexFor(0.7), 1u);
+}
+
+TEST_F(PiecewiseModelTest, GapAssignedToCloserSegment) {
+  EXPECT_EQ(model_.SegmentIndexFor(0.45), 0u);  // closer to [0.1,0.4]
+  EXPECT_EQ(model_.SegmentIndexFor(0.55), 1u);  // closer to [0.6,0.9]
+}
+
+TEST_F(PiecewiseModelTest, OutsideRangeClampsToNearest) {
+  EXPECT_EQ(model_.SegmentIndexFor(0.05), 0u);
+  EXPECT_EQ(model_.SegmentIndexFor(0.95), 1u);
+}
+
+TEST_F(PiecewiseModelTest, EvalUsesCoveringSegment) {
+  // mem=0.2 -> segment 0: 10/0.5 + 2/0.2 + 1 = 31.
+  EXPECT_NEAR(model_.Eval({0.5, 0.2}), 31.0, 1e-9);
+  // mem=0.8 -> segment 1: 10/0.5 + 0.5/0.8 + 0.5 = 21.125.
+  EXPECT_NEAR(model_.Eval({0.5, 0.8}), 21.125, 1e-9);
+}
+
+TEST_F(PiecewiseModelTest, ScaleAllAffectsEverySegment) {
+  double before0 = model_.Eval({0.5, 0.2});
+  double before1 = model_.Eval({0.5, 0.8});
+  model_.ScaleAll(1.5);
+  EXPECT_NEAR(model_.Eval({0.5, 0.2}), before0 * 1.5, 1e-9);
+  EXPECT_NEAR(model_.Eval({0.5, 0.8}), before1 * 1.5, 1e-9);
+}
+
+TEST_F(PiecewiseModelTest, ScaleSegmentAtOnlyTouchesOne) {
+  double before0 = model_.Eval({0.5, 0.2});
+  double before1 = model_.Eval({0.5, 0.8});
+  model_.ScaleSegmentAt(0.8, 2.0);
+  EXPECT_NEAR(model_.Eval({0.5, 0.2}), before0, 1e-9);
+  EXPECT_NEAR(model_.Eval({0.5, 0.8}), before1 * 2.0, 1e-9);
+}
+
+TEST_F(PiecewiseModelTest, ResolveGapPrefersSegmentMatchingObservation) {
+  // Observed cost close to segment 1's prediction at mem=0.5.
+  double pred1 = model_.segments()[1].model.Eval({0.5, 0.5});
+  size_t chosen = model_.ResolveGapPoint(0.5, {0.5, 0.5}, pred1 + 0.01);
+  EXPECT_EQ(chosen, 1u);
+  // Segment 1 now covers 0.5.
+  EXPECT_EQ(model_.SegmentIndexFor(0.5), 1u);
+  EXPECT_LE(model_.segments()[1].lo, 0.5);
+}
+
+TEST_F(PiecewiseModelTest, ResolveGapPrefersOtherSegmentToo) {
+  double pred0 = model_.segments()[0].model.Eval({0.5, 0.5});
+  size_t chosen = model_.ResolveGapPoint(0.5, {0.5, 0.5}, pred0 - 0.01);
+  EXPECT_EQ(chosen, 0u);
+  EXPECT_GE(model_.segments()[0].hi, 0.5);
+}
+
+}  // namespace
+}  // namespace vdba

@@ -1,0 +1,173 @@
+// Property-style parameterized sweeps over the core invariants:
+//  * estimated and actual costs are positive and monotone in resources,
+//  * the greedy enumerator conserves shares and never loses to the default
+//    allocation on its own objective,
+//  * calibrated what-if estimates track actuals for DSS workloads across
+//    the whole allocation grid.
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "scenario/scenario.h"
+#include "workload/tpch.h"
+
+namespace vdba::advisor {
+namespace {
+
+scenario::Testbed& tb() {
+  static scenario::Testbed testbed;
+  return testbed;
+}
+
+// ---------------------------------------------------------------------
+// Sweep 1: per-query cost monotonicity over the (cpu, mem) grid.
+// ---------------------------------------------------------------------
+
+class QueryMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryMonotonicityTest, ActualCostDecreasesWithCpu) {
+  int qn = GetParam();
+  simdb::Workload w;
+  w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), qn), 1.0);
+  double prev = 1e300;
+  for (double c : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    double t = tb().hypervisor()->TrueWorkloadSeconds(
+        tb().db2_sf1(), w, simvm::VmResources{c, 0.25});
+    EXPECT_LE(t, prev * 1.0001) << "cpu " << c;
+    EXPECT_GT(t, 0.0);
+    prev = t;
+  }
+}
+
+TEST_P(QueryMonotonicityTest, ActualCostNonIncreasingWithMemory) {
+  int qn = GetParam();
+  simdb::Workload w;
+  w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), qn), 1.0);
+  double prev = 1e300;
+  for (double m : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double t = tb().hypervisor()->TrueWorkloadSeconds(
+        tb().db2_sf1(), w, simvm::VmResources{0.5, m});
+    EXPECT_LE(t, prev * 1.02) << "mem " << m;  // small plan-flip slack
+    prev = t;
+  }
+}
+
+TEST_P(QueryMonotonicityTest, EstimateTracksActualAcrossGrid) {
+  int qn = GetParam();
+  simdb::Workload w;
+  w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), qn), 1.0);
+  Tenant tenant = tb().MakeTenant(tb().pg_sf1(), w);
+  WhatIfCostEstimator est(tb().machine(), {tenant});
+  for (double c : {0.2, 0.6, 1.0}) {
+    for (double m : {0.2, 0.6, 1.0}) {
+      simvm::VmResources r{c, m};
+      double e = est.EstimateSeconds(0, r);
+      double a = tb().TrueSeconds(tenant, r);
+      // DSS estimates land within ~35% of actuals everywhere (the paper's
+      // premise that the optimizer is "fairly accurate" for DSS).
+      EXPECT_NEAR(e / a, 1.0, 0.35) << "q" << qn << " " << r.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTpchQueries, QueryMonotonicityTest,
+                         ::testing::Values(1, 3, 4, 6, 7, 12, 14, 16, 17, 18,
+                                           21, 22));
+
+// ---------------------------------------------------------------------
+// Sweep 2: greedy invariants across workload mixes.
+// ---------------------------------------------------------------------
+
+struct MixParam {
+  int c_units_w1;
+  int i_units_w1;
+  int c_units_w2;
+  int i_units_w2;
+};
+
+class GreedyInvariantTest : public ::testing::TestWithParam<MixParam> {};
+
+TEST_P(GreedyInvariantTest, SharesConservedAndObjectiveNotWorse) {
+  const MixParam& p = GetParam();
+  simdb::Workload q18, q21;
+  q18.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18), 2.0);
+  q21.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 21), 2.0);
+  auto mix = [&](int c_units, int i_units) {
+    simdb::Workload w;
+    if (c_units > 0) {
+      w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18),
+                     2.0 * c_units);
+    }
+    if (i_units > 0) {
+      w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 21),
+                     2.0 * i_units);
+    }
+    return w;
+  };
+  std::vector<Tenant> tenants = {
+      tb().MakeTenant(tb().db2_sf1(), mix(p.c_units_w1, p.i_units_w1)),
+      tb().MakeTenant(tb().db2_sf1(), mix(p.c_units_w2, p.i_units_w2))};
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  Recommendation rec = adv.Recommend();
+
+  double cpu_sum = 0.0, mem_sum = 0.0;
+  for (const auto& r : rec.allocations) {
+    EXPECT_GE(r.cpu_share, 0.05 - 1e-9);
+    EXPECT_GE(r.mem_share, 0.05 - 1e-9);
+    cpu_sum += r.cpu_share;
+    mem_sum += r.mem_share;
+  }
+  EXPECT_LE(cpu_sum, 1.0 + 1e-9);
+  EXPECT_LE(mem_sum, 1.0 + 1e-9);
+
+  // The recommendation never loses to the default on estimated cost.
+  double t_def = adv.EstimateTotalSeconds(DefaultAllocation(2));
+  double t_rec = rec.estimated_seconds[0] + rec.estimated_seconds[1];
+  EXPECT_LE(t_rec, t_def + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixGrid, GreedyInvariantTest,
+    ::testing::Values(MixParam{0, 10, 5, 5}, MixParam{2, 8, 5, 5},
+                      MixParam{5, 5, 5, 5}, MixParam{8, 2, 5, 5},
+                      MixParam{10, 0, 5, 5}, MixParam{10, 0, 0, 10},
+                      MixParam{1, 0, 9, 0}, MixParam{0, 1, 0, 9}));
+
+// ---------------------------------------------------------------------
+// Sweep 3: the advisor scales across tenant counts.
+// ---------------------------------------------------------------------
+
+class TenantCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TenantCountTest, RecommendationValidForNTenants) {
+  int n = GetParam();
+  std::vector<Tenant> tenants;
+  for (int i = 0; i < n; ++i) {
+    simdb::Workload w;
+    // Alternate CPU-heavy and I/O-heavy tenants of growing size.
+    int qn = (i % 2 == 0) ? 18 : 21;
+    w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), qn), 2.0 + i);
+    tenants.push_back(tb().MakeTenant(tb().db2_sf1(), w));
+  }
+  AdvisorOptions opts;
+  opts.enumerator.allocate_memory = false;
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
+  Recommendation rec = adv.Recommend();
+  ASSERT_EQ(rec.allocations.size(), static_cast<size_t>(n));
+  double cpu_sum = 0.0;
+  for (const auto& r : rec.allocations) cpu_sum += r.cpu_share;
+  EXPECT_LE(cpu_sum, 1.0 + 1e-9);
+  EXPECT_GE(rec.estimated_improvement, -1e-9);
+  // CPU-heavy tenants of equal size outrank their I/O-heavy neighbours.
+  for (int i = 0; i + 1 < n; i += 2) {
+    double cpu_even = rec.allocations[static_cast<size_t>(i)].cpu_share;
+    double cpu_odd = rec.allocations[static_cast<size_t>(i + 1)].cpu_share;
+    // The odd tenant is slightly larger, so allow equality.
+    EXPECT_GE(cpu_even + 0.35, cpu_odd) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, TenantCountTest,
+                         ::testing::Values(2, 3, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace vdba::advisor

@@ -1,0 +1,140 @@
+// QoS experiments at unit scale: degradation limits (§7.5, Fig. 19) and
+// benefit gain factors (Fig. 20) on five identical workloads.
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "scenario/scenario.h"
+#include "workload/tpch.h"
+
+namespace vdba::advisor {
+namespace {
+
+class QosTest : public ::testing::Test {
+ protected:
+  static scenario::Testbed& tb() {
+    static scenario::Testbed testbed;
+    return testbed;
+  }
+
+  /// Five identical CPU-intensive workloads (1 C unit each, §7.5).
+  std::vector<Tenant> FiveIdentical(std::vector<QosSpec> qos) {
+    simdb::Workload unit;
+    unit.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18), 2.0);
+    std::vector<Tenant> tenants;
+    for (int i = 0; i < 5; ++i) {
+      tenants.push_back(tb().MakeTenant(tb().db2_sf1(), unit,
+                                        qos[static_cast<size_t>(i)]));
+    }
+    return tenants;
+  }
+
+  /// Degradation of tenant i under `alloc` using the advisor's estimates.
+  double Degradation(VirtualizationDesignAdvisor* adv, int i,
+                     const simvm::VmResources& r) {
+    double at = adv->estimator()->EstimateSeconds(i, r);
+    double full = adv->estimator()->EstimateSeconds(i, {1.0, 1.0});
+    return at / full;
+  }
+};
+
+TEST_F(QosTest, DefaultQosIsUnconstrained) {
+  QosSpec q;
+  EXPECT_FALSE(q.Constrained());
+  EXPECT_EQ(q.gain_factor, 1.0);
+}
+
+TEST_F(QosTest, UnconstrainedIdenticalWorkloadsSplitEvenly) {
+  std::vector<QosSpec> qos(5);
+  auto tenants = FiveIdentical(qos);
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  Recommendation rec = adv.Recommend();
+  for (const auto& r : rec.allocations) {
+    EXPECT_NEAR(r.cpu_share, 0.2, 0.051);
+  }
+}
+
+TEST_F(QosTest, DegradationLimitsAreHonoredWhenFeasible) {
+  // Fig. 19: pick limits slightly above the default allocation's
+  // degradation, so they are feasible but binding; they must then hold at
+  // the recommendation. (Like the paper's Figure-11 algorithm, limits
+  // constrain removals, so feasibility at the default is required.)
+  std::vector<QosSpec> probe_qos(5);
+  auto probe_tenants = FiveIdentical(probe_qos);
+  VirtualizationDesignAdvisor probe_adv(tb().machine(), probe_tenants);
+  double default_degradation =
+      Degradation(&probe_adv, 0, advisor::DefaultAllocation(5)[0]);
+
+  std::vector<QosSpec> qos(5);
+  qos[0].degradation_limit = default_degradation * 1.10;
+  qos[1].degradation_limit = default_degradation * 1.25;
+  auto tenants = FiveIdentical(qos);
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  Recommendation rec = adv.Recommend();
+  EXPECT_TRUE(rec.violated_qos.empty());
+  EXPECT_LE(Degradation(&adv, 0, rec.allocations[0]),
+            qos[0].degradation_limit + 0.01);
+  EXPECT_LE(Degradation(&adv, 1, rec.allocations[1]),
+            qos[1].degradation_limit + 0.01);
+}
+
+TEST_F(QosTest, TightLimitReportedInfeasible) {
+  // Fig. 19 at L9 = 1.5: five identical workloads cannot all keep one
+  // tenant within 1.5x of its dedicated-machine cost... the advisor
+  // reports the violation instead of failing silently.
+  std::vector<QosSpec> qos(5);
+  qos[0].degradation_limit = 1.5;
+  auto tenants = FiveIdentical(qos);
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  Recommendation rec = adv.Recommend();
+  if (!rec.violated_qos.empty()) {
+    EXPECT_EQ(rec.violated_qos[0], 0);
+  } else {
+    // If feasible, the limit must actually hold.
+    EXPECT_LE(Degradation(&adv, 0, rec.allocations[0]), 1.5 + 0.01);
+  }
+}
+
+TEST_F(QosTest, ConstrainedTenantsDegradeLessThanOthers) {
+  std::vector<QosSpec> qos(5);
+  qos[0].degradation_limit = 2.5;
+  auto tenants = FiveIdentical(qos);
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  Recommendation rec = adv.Recommend();
+  double constrained = Degradation(&adv, 0, rec.allocations[0]);
+  double unconstrained = Degradation(&adv, 2, rec.allocations[2]);
+  EXPECT_LE(constrained, unconstrained + 1e-9);
+}
+
+TEST_F(QosTest, GainFactorOrderingMatchesAllocationOrdering) {
+  // Fig. 20: G drives who is favored; higher G => at least as much CPU.
+  std::vector<QosSpec> qos(5);
+  qos[0].gain_factor = 8.0;
+  qos[1].gain_factor = 4.0;
+  auto tenants = FiveIdentical(qos);
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  Recommendation rec = adv.Recommend();
+  EXPECT_GE(rec.allocations[0].cpu_share, rec.allocations[1].cpu_share);
+  EXPECT_GE(rec.allocations[1].cpu_share, rec.allocations[2].cpu_share);
+}
+
+TEST_F(QosTest, GainFactorCrossoverAsInFig20) {
+  // With G9 small, the G10=4 tenant wins; with G9 large, tenant 9 wins.
+  for (double g9 : {1.0, 10.0}) {
+    std::vector<QosSpec> qos(5);
+    qos[0].gain_factor = g9;
+    qos[1].gain_factor = 4.0;
+    auto tenants = FiveIdentical(qos);
+    VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+    Recommendation rec = adv.Recommend();
+    if (g9 < 4.0) {
+      EXPECT_LE(rec.allocations[0].cpu_share,
+                rec.allocations[1].cpu_share + 1e-9);
+    } else {
+      EXPECT_GE(rec.allocations[0].cpu_share,
+                rec.allocations[1].cpu_share - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdba::advisor

@@ -1,0 +1,90 @@
+#include "util/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vdba {
+namespace {
+
+TEST(FitLinearTest, ExactLine) {
+  auto fit = FitLinear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLinearTest, NoisyLineRecovered) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    double xi = rng.Uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(4.0 * xi - 2.0 + rng.Gaussian(0.0, 0.1));
+  }
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 4.0, 0.05);
+  EXPECT_NEAR(fit->intercept, -2.0, 0.2);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(FitLinearTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitLinear({1}, {2}).ok());
+  EXPECT_FALSE(FitLinear({1, 2}, {2}).ok());
+  EXPECT_FALSE(FitLinear({3, 3, 3}, {1, 2, 3}).ok());
+}
+
+TEST(FitProportionalTest, ThroughOrigin) {
+  auto fit = FitProportional({1, 2, 4}, {2.5, 5.0, 10.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.5, 1e-9);
+  EXPECT_EQ(fit->intercept, 0.0);
+}
+
+TEST(SolveLinearSystemTest, TwoByTwo) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  auto sol = SolveLinearSystem({{2, 1}, {1, -1}}, {5, 1});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR((*sol)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*sol)[1], 1.0, 1e-9);
+}
+
+TEST(SolveLinearSystemTest, SingularRejected) {
+  auto sol = SolveLinearSystem({{1, 2}, {2, 4}}, {3, 6});
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(SolveLinearSystemTest, PivotingHandlesZeroDiagonal) {
+  // 0x + y = 1; x + 0y = 2 requires a row swap.
+  auto sol = SolveLinearSystem({{0, 1}, {1, 0}}, {1, 2});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR((*sol)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*sol)[1], 1.0, 1e-9);
+}
+
+TEST(FitMultiLinearTest, TwoFeatureExact) {
+  // y = 3*a + 5*b + 7.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double a = 0; a < 4; ++a) {
+    for (double b = 0; b < 4; ++b) {
+      rows.push_back({a, b});
+      y.push_back(3 * a + 5 * b + 7);
+    }
+  }
+  auto fit = FitMultiLinear(rows, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 1e-6);
+  EXPECT_NEAR(fit->coefficients[1], 5.0, 1e-6);
+  EXPECT_NEAR(fit->coefficients[2], 7.0, 1e-5);
+  EXPECT_NEAR(fit->Eval({2.0, 2.0}), 23.0, 1e-5);
+}
+
+TEST(FitMultiLinearTest, UnderDeterminedRejected) {
+  EXPECT_FALSE(FitMultiLinear({{1.0, 2.0}}, {3.0}).ok());
+}
+
+}  // namespace
+}  // namespace vdba

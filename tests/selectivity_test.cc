@@ -1,0 +1,100 @@
+#include "simdb/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace vdba::simdb {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog cat;
+  TableDef a;
+  a.name = "a";
+  a.rows = 1000;
+  a.row_width_bytes = 100;
+  cat.AddTable(a);
+  TableDef b;
+  b.name = "b";
+  b.rows = 10000;
+  b.row_width_bytes = 200;
+  cat.AddTable(b);
+  TableDef c;
+  c.name = "c";
+  c.rows = 100;
+  c.row_width_bytes = 50;
+  cat.AddTable(c);
+  return cat;
+}
+
+QuerySpec MakeJoinQuery() {
+  QuerySpec q;
+  q.relations = {{0, 0.5, 1, ""}, {1, 1.0, 0, ""}, {2, 1.0, 0, ""}};
+  // a-b: FK join into b; b-c: FK join into c.
+  q.joins = {{0, 1, 1.0 / 10000.0, ""}, {1, 2, 1.0 / 100.0, ""}};
+  return q;
+}
+
+TEST(CardinalityTest, BaseRowsApplyFilters) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = MakeJoinQuery();
+  CardinalityModel cards(cat, q);
+  EXPECT_NEAR(cards.BaseRows(0), 500.0, 1e-9);
+  EXPECT_NEAR(cards.BaseRows(1), 10000.0, 1e-9);
+}
+
+TEST(CardinalityTest, SubsetRowsMultiplyEdgeSelectivities) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = MakeJoinQuery();
+  CardinalityModel cards(cat, q);
+  // a join b: 500 * 10000 / 10000 = 500.
+  EXPECT_NEAR(cards.SubsetRows(0b011), 500.0, 1e-6);
+  // Full join keeps 500 (each b row matches one c row).
+  EXPECT_NEAR(cards.JoinRows(), 500.0, 1e-6);
+}
+
+TEST(CardinalityTest, ConnectednessFollowsJoinGraph) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = MakeJoinQuery();
+  CardinalityModel cards(cat, q);
+  EXPECT_TRUE(cards.Connected(0b001));
+  EXPECT_TRUE(cards.Connected(0b011));
+  EXPECT_TRUE(cards.Connected(0b111));
+  EXPECT_FALSE(cards.Connected(0b101));  // a and c have no direct edge
+}
+
+TEST(CardinalityTest, ScalarAggregateReturnsOneRow) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = MakeJoinQuery();
+  q.aggregate = {AggregateKind::kScalar, 1, 1, 32, 1.0};
+  CardinalityModel cards(cat, q);
+  EXPECT_EQ(cards.ResultRows(), 1.0);
+}
+
+TEST(CardinalityTest, GroupedAggregateCapsAtInputRows) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = MakeJoinQuery();
+  q.aggregate = {AggregateKind::kGrouped, 1e9, 1, 32, 1.0};
+  CardinalityModel cards(cat, q);
+  EXPECT_NEAR(cards.RowsAfterAggregate(), cards.JoinRows(), 1e-6);
+}
+
+TEST(CardinalityTest, HavingAndLimitShrinkResult) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = MakeJoinQuery();
+  q.aggregate = {AggregateKind::kGrouped, 400, 1, 32, 0.5};
+  q.limit_rows = 10;
+  CardinalityModel cards(cat, q);
+  EXPECT_NEAR(cards.RowsAfterAggregate(), 200.0, 1e-6);
+  EXPECT_EQ(cards.ResultRows(), 10.0);
+}
+
+TEST(CardinalityTest, RowWidthSumsHalfWidths) {
+  Catalog cat = MakeCatalog();
+  QuerySpec q = MakeJoinQuery();
+  CardinalityModel cards(cat, q);
+  EXPECT_NEAR(cards.RowWidth(0b011), (100.0 + 200.0) * 0.5, 1e-9);
+  // Width is floored at 16 bytes.
+  EXPECT_GE(cards.RowWidth(0b100), 16.0);
+}
+
+}  // namespace
+}  // namespace vdba::simdb

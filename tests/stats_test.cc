@@ -1,0 +1,41 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace vdba {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, MeanBasic) { EXPECT_NEAR(Mean({1, 2, 3, 4}), 2.5, 1e-12); }
+
+TEST(StatsTest, StdDevBasic) {
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, StdDevDegenerate) {
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(StatsTest, RelativeChange) {
+  EXPECT_NEAR(RelativeChange(10.0, 12.0), 0.2, 1e-12);
+  EXPECT_NEAR(RelativeChange(10.0, 8.0), -0.2, 1e-12);
+  EXPECT_EQ(RelativeChange(0.0, 5.0), 0.0);
+}
+
+TEST(StatsTest, RelativeError) {
+  EXPECT_NEAR(RelativeError(8.0, 10.0), 0.2, 1e-12);
+  EXPECT_NEAR(RelativeError(12.0, 10.0), 0.2, 1e-12);
+  EXPECT_EQ(RelativeError(3.0, 0.0), 0.0);
+}
+
+TEST(StatsTest, SumAndClamp) {
+  EXPECT_NEAR(Sum({1.5, 2.5}), 4.0, 1e-12);
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace vdba

@@ -1,0 +1,29 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace vdba {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+}
+
+TEST(TablePrinterTest, PctFormatsPercentage) {
+  EXPECT_EQ(TablePrinter::Pct(0.237, 1), "23.7%");
+  EXPECT_EQ(TablePrinter::Pct(-0.05, 0), "-5%");
+}
+
+}  // namespace
+}  // namespace vdba

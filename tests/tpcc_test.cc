@@ -1,0 +1,89 @@
+#include "workload/tpcc.h"
+
+#include <gtest/gtest.h>
+
+#include "advisor/cost_estimator.h"
+#include "calib/calibration.h"
+#include "simvm/hypervisor.h"
+
+namespace vdba::workload {
+namespace {
+
+using simdb::EngineFlavor;
+
+TEST(TpccSchemaTest, SizesScaleWithWarehouses) {
+  TpccDatabase db10 = MakeTpccDatabase(10);
+  TpccDatabase db100 = MakeTpccDatabase(100);
+  EXPECT_NEAR(db10.catalog.table(db10.tables.order_line).rows, 3e6, 1.0);
+  EXPECT_NEAR(db100.catalog.table(db100.tables.order_line).rows, 3e7, 1.0);
+  // item is shared, not per-warehouse.
+  EXPECT_EQ(db10.catalog.table(db10.tables.item).rows,
+            db100.catalog.table(db100.tables.item).rows);
+  // 10 warehouses ~ 1.3 GB (paper's tpcc-uva sizing).
+  double gb = db10.catalog.TotalPages() * simdb::kPageSizeBytes /
+              (1024.0 * 1024 * 1024);
+  EXPECT_GT(gb, 0.7);
+  EXPECT_LT(gb, 2.5);
+}
+
+TEST(TpccQueryTest, TransactionsAreOltpWithConcurrency) {
+  TpccDatabase db = MakeTpccDatabase(10);
+  for (auto txn : {TpccTransaction::kNewOrder, TpccTransaction::kPayment,
+                   TpccTransaction::kOrderStatus, TpccTransaction::kDelivery,
+                   TpccTransaction::kStockLevel}) {
+    simdb::QuerySpec q = TpccQuery(db, txn, 40);
+    EXPECT_TRUE(q.oltp) << q.name;
+    EXPECT_EQ(q.concurrency, 40) << q.name;
+    EXPECT_FALSE(q.relations.empty()) << q.name;
+  }
+  // Write transactions carry update specs; read-only ones do not.
+  EXPECT_GT(TpccQuery(db, TpccTransaction::kNewOrder, 1).update.rows_modified,
+            0.0);
+  EXPECT_EQ(
+      TpccQuery(db, TpccTransaction::kOrderStatus, 1).update.rows_modified,
+      0.0);
+}
+
+TEST(TpccWorkloadTest, MixFollowsStandardFrequencies) {
+  TpccDatabase db = MakeTpccDatabase(10);
+  simdb::Workload w = MakeTpccWorkload(db, 1000, 50, 5);
+  ASSERT_EQ(w.statements.size(), 5u);
+  EXPECT_NEAR(w.TotalFrequency(), 1000.0, 1e-6);
+  EXPECT_NEAR(w.statements[0].frequency, 450.0, 1e-6);  // NewOrder 45%
+  EXPECT_NEAR(w.statements[1].frequency, 430.0, 1e-6);  // Payment 43%
+}
+
+TEST(TpccWorkloadTest, OptimizerUnderestimatesCpuNeeds) {
+  // §7.8: the optimizer sees TPC-C as much less CPU-intensive than it is.
+  // Estimated cost barely responds to CPU share; actual cost blows up at
+  // starved allocations.
+  TpccDatabase db = MakeTpccDatabase(10);
+  simdb::DbEngine engine("db2-tpcc", EngineFlavor::kDb2, db.catalog);
+  simvm::Hypervisor hv;
+  calib::Calibrator cal(&hv, EngineFlavor::kDb2, engine.profile());
+  auto model = cal.Calibrate(calib::CalibrationOptions());
+  ASSERT_TRUE(model.ok());
+
+  simdb::Workload w = MakeTpccWorkload(db, 12000, 100, 8);
+  advisor::Tenant tenant;
+  tenant.engine = &engine;
+  tenant.calibration = &model.value();
+  tenant.workload = w;
+  advisor::WhatIfCostEstimator est(hv.machine(), {tenant});
+
+  double mem = 512.0 / 8192.0;
+  double est_starved = est.EstimateSeconds(0, {0.05, mem});
+  double est_rich = est.EstimateSeconds(0, {1.0, mem});
+  double act_starved = hv.TrueWorkloadSeconds(engine, w, {0.05, mem});
+  double act_rich = hv.TrueWorkloadSeconds(engine, w, {1.0, mem});
+
+  // Estimates: nearly flat in CPU (the model sees almost no CPU work).
+  EXPECT_LT(est_starved / est_rich, 2.0);
+  // Actuals: starving CPU really hurts.
+  EXPECT_GT(act_starved / act_rich, 1.3);
+  // And the estimate underestimates the starved actual badly.
+  EXPECT_GT(act_starved / est_starved, 1.5);
+}
+
+}  // namespace
+}  // namespace vdba::workload

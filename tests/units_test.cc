@@ -1,0 +1,73 @@
+#include "workload/units.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+#include "workload/tpch.h"
+
+namespace vdba::workload {
+namespace {
+
+TEST(UnitsTest, RepeatedWorkloadHoldsFrequency) {
+  TpchDatabase db = MakeTpchDatabase(1.0);
+  simdb::Workload w =
+      MakeRepeatedQueryWorkload("u", TpchQuery(db, 6), 12.0);
+  ASSERT_EQ(w.statements.size(), 1u);
+  EXPECT_EQ(w.statements[0].frequency, 12.0);
+  EXPECT_EQ(w.name, "u");
+}
+
+TEST(UnitsTest, MixUnitsScalesBothSides) {
+  TpchDatabase db = MakeTpchDatabase(1.0);
+  simdb::Workload a = MakeRepeatedQueryWorkload("a", TpchQuery(db, 6), 2.0);
+  simdb::Workload b = MakeRepeatedQueryWorkload("b", TpchQuery(db, 1), 3.0);
+  simdb::Workload mix = MixUnits("m", a, 4, b, 6);
+  ASSERT_EQ(mix.statements.size(), 2u);
+  EXPECT_EQ(mix.statements[0].frequency, 8.0);
+  EXPECT_EQ(mix.statements[1].frequency, 18.0);
+  // Zero units of one side are dropped entirely.
+  simdb::Workload only_a = MixUnits("oa", a, 2, b, 0);
+  EXPECT_EQ(only_a.statements.size(), 1u);
+}
+
+TEST(UnitsTest, CopiesToMatchProducesTargetDuration) {
+  TpchDatabase db = MakeTpchDatabase(1.0);
+  simdb::DbEngine engine("pg", simdb::EngineFlavor::kPostgres, db.catalog);
+  simdb::RuntimeEnv env;
+  env.cpu_ops_per_sec = 2.4e9;
+  env.io_contention = 1.8;
+  simdb::QuerySpec q = TpchQuery(db, 6);
+  double one = engine.ExecuteQuery(q, env, 512).total_seconds();
+  double copies = CopiesToMatch(engine, q, env, 512, 60.0);
+  EXPECT_GE(copies, 1.0);
+  EXPECT_NEAR(copies * one, 60.0, one);  // within one query of the target
+}
+
+TEST(UnitsTest, PaperUnitsMatchAtFullCpu) {
+  // §7.3: C and I take the same time at 100% CPU (within one query).
+  scenario::Testbed tb;
+  const simdb::DbEngine& db2 = tb.db2_sf1();
+  simdb::Workload c = tb.CpuIntensiveUnit(db2, tb.tpch_sf1());
+  simdb::Workload i = tb.CpuLazyUnit(db2, tb.tpch_sf1());
+  simvm::VmResources full{1.0, tb.CpuExperimentMemShare()};
+  double tc = tb.hypervisor()->TrueWorkloadSeconds(db2, c, full);
+  double ti = tb.hypervisor()->TrueWorkloadSeconds(db2, i, full);
+  EXPECT_NEAR(tc / ti, 1.0, 0.35);
+}
+
+TEST(UnitsTest, CpuUnitsDifferInCpuIntensity) {
+  scenario::Testbed tb;
+  const simdb::DbEngine& db2 = tb.db2_sf1();
+  simdb::Workload c = tb.CpuIntensiveUnit(db2, tb.tpch_sf1());
+  simdb::Workload i = tb.CpuLazyUnit(db2, tb.tpch_sf1());
+  simvm::VmResources vm{0.5, tb.CpuExperimentMemShare()};
+  auto bc = tb.hypervisor()->TrueWorkloadBreakdown(db2, c, vm);
+  auto bi = tb.hypervisor()->TrueWorkloadBreakdown(db2, i, vm);
+  double frac_c = bc.cpu_seconds / bc.total_seconds();
+  double frac_i = bi.cpu_seconds / bi.total_seconds();
+  EXPECT_GT(frac_c, 0.5);
+  EXPECT_LT(frac_i, 0.3);
+}
+
+}  // namespace
+}  // namespace vdba::workload
