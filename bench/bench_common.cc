@@ -1,17 +1,133 @@
 #include "bench_common.h"
 
+#include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <utility>
 
 namespace vdba::bench {
+namespace {
+
+/// State of the JSON record opened by PrintHeader. One artifact is open at
+/// a time; benches that reproduce several figures bracket each one with its
+/// own PrintHeader/PrintFooter pair and get one JSON file per figure.
+struct JsonRecord {
+  bool open = false;
+  std::string artifact;
+  std::chrono::steady_clock::time_point start;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+JsonRecord& CurrentRecord() {
+  static JsonRecord record;
+  return record;
+}
+
+/// "Figure 21-23 (PG TPC-H)" -> "figure_21-23_pg_tpc-h".
+std::string Slugify(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? "bench" : out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void WriteJsonRecord(const JsonRecord& record) {
+  const char* dir = std::getenv("VDBA_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    record.start)
+          .count();
+  std::string path =
+      std::string(dir) + "/BENCH_" + Slugify(record.artifact) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_common: cannot write %s\n", path.c_str());
+    return;
+  }
+  // Full round-trip precision; non-finite values are not valid JSON
+  // numbers, so map them to null.
+  auto number = [](double v) -> std::string {
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    return buf;
+  };
+  out << "{\n";
+  out << "  \"artifact\": \"" << JsonEscape(record.artifact) << "\",\n";
+  out << "  \"wall_seconds\": " << number(wall_seconds) << ",\n";
+  out << "  \"metrics\": {";
+  for (size_t i = 0; i < record.metrics.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << JsonEscape(record.metrics[i].first)
+        << "\": " << number(record.metrics[i].second);
+  }
+  out << (record.metrics.empty() ? "}\n" : "\n  }\n");
+  out << "}\n";
+}
+
+}  // namespace
 
 void PrintHeader(const std::string& artifact, const std::string& paper_says) {
   std::printf("==============================================================\n");
   std::printf("Reproducing: %s\n", artifact.c_str());
   std::printf("Paper reports: %s\n", paper_says.c_str());
   std::printf("==============================================================\n");
+  JsonRecord& record = CurrentRecord();
+  record.open = true;
+  record.artifact = artifact;
+  record.start = std::chrono::steady_clock::now();
+  record.metrics.clear();
 }
 
-void PrintFooter() { std::printf("-- done --\n\n"); }
+void PrintFooter() {
+  JsonRecord& record = CurrentRecord();
+  if (record.open) {
+    WriteJsonRecord(record);
+    record.open = false;
+  }
+  std::printf("-- done --\n\n");
+}
+
+void RecordMetric(const std::string& name, double value) {
+  JsonRecord& record = CurrentRecord();
+  if (record.open) record.metrics.emplace_back(name, value);
+}
 
 scenario::Testbed& SharedTestbed() {
   static scenario::Testbed testbed;

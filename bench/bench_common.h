@@ -11,11 +11,21 @@
 namespace vdba::bench {
 
 /// Prints the standard bench banner: which paper artifact this harness
-/// regenerates and what the paper reported.
+/// regenerates and what the paper reported. Also opens a JSON record for
+/// the artifact (see RecordMetric / PrintFooter).
 void PrintHeader(const std::string& artifact, const std::string& paper_says);
 
-/// Prints a closing line (keeps bench outputs uniform and greppable).
+/// Prints a closing line (keeps bench outputs uniform and greppable) and,
+/// when VDBA_BENCH_JSON_DIR is set, writes `BENCH_<slug>.json` there with
+/// the artifact name, wall time, and any metrics recorded since the
+/// matching PrintHeader.
 void PrintFooter();
+
+/// Attaches a named scalar to the JSON record of the currently open
+/// artifact (no-op outside a PrintHeader/PrintFooter bracket). Future PRs
+/// use this to track figure-level trajectories (e.g. objective values,
+/// advisor runtimes) across commits.
+void RecordMetric(const std::string& name, double value);
 
 /// Lazily-constructed shared testbed (calibration happens once per bench
 /// process).

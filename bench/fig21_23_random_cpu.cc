@@ -25,7 +25,11 @@ void SweepN(const std::vector<advisor::Tenant>& all_tenants,
   std::printf("--- %s: %s ---\n", figure, description);
   std::vector<std::string> header = {"N"};
   for (size_t i = 0; i < all_tenants.size(); ++i) {
-    header.push_back("W" + std::to_string(i + 1));
+    // snprintf instead of `"W" + to_string(...)`: the string concatenation
+    // overloads trip GCC 12 -O3 -Wrestrict false positives inside libstdc++.
+    char label[32];
+    std::snprintf(label, sizeof(label), "W%zu", i + 1);
+    header.emplace_back(label);
   }
   TablePrinter t(header);
   std::vector<std::vector<double>> shares_by_n;

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs every paper-figure bench binary and collects logs + BENCH_*.json.
+#
+# Usage: bench/run_all.sh [build_dir] [results_dir]
+#   build_dir    CMake build tree with VDBA_BUILD_BENCH=ON (default: build)
+#   results_dir  where logs and BENCH_*.json land (default: bench_results)
+#
+# Each bench writes one BENCH_<artifact>.json per PrintHeader/PrintFooter
+# bracket (artifact name, wall seconds, recorded metrics), so future PRs can
+# diff bench trajectories across commits.
+set -euo pipefail
+
+build_dir=${1:-build}
+results_dir=${2:-bench_results}
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' not found." >&2
+  echo "  cmake -B $build_dir -S . -DVDBA_BUILD_BENCH=ON && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+mkdir -p "$results_dir"
+# Clear stale results: a bench that fails before writing its JSON must not
+# leave a previous run's file to be mistaken for this run's output.
+rm -f "$results_dir"/BENCH_*.json "$results_dir"/*.log
+export VDBA_BENCH_JSON_DIR
+VDBA_BENCH_JSON_DIR=$(cd "$results_dir" && pwd)
+
+# One bench per bench/*.cc, derived from the sources (same rule as the
+# CMake glob) so newly added benches are picked up automatically.
+script_dir=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
+benches=()
+for src in "$script_dir"/*.cc; do
+  name=$(basename "$src" .cc)
+  case "$name" in
+    bench_common|micro_benchmarks) continue ;;  # library / handled below
+  esac
+  benches+=("$name")
+done
+
+failed=()
+for bench in "${benches[@]}"; do
+  exe="$build_dir/$bench"
+  if [[ ! -x "$exe" ]]; then
+    echo "skip: $bench (not built)"
+    continue
+  fi
+  echo "=== $bench ==="
+  if ! "$exe" > "$results_dir/$bench.log" 2>&1; then
+    echo "FAILED: $bench (see $results_dir/$bench.log)"
+    failed+=("$bench")
+  else
+    tail -n 3 "$results_dir/$bench.log"
+  fi
+done
+
+# micro_benchmarks (Google Benchmark) emits its own JSON natively.
+if [[ -x "$build_dir/micro_benchmarks" ]]; then
+  echo "=== micro_benchmarks ==="
+  if ! "$build_dir/micro_benchmarks" \
+      --benchmark_out="$results_dir/BENCH_micro.json" \
+      --benchmark_out_format=json > "$results_dir/micro_benchmarks.log" 2>&1; then
+    echo "FAILED: micro_benchmarks (see $results_dir/micro_benchmarks.log)"
+    failed+=(micro_benchmarks)
+  fi
+fi
+
+echo
+echo "results in $results_dir:"
+ls "$results_dir"/BENCH_*.json 2>/dev/null || echo "  (no JSON emitted)"
+
+if (( ${#failed[@]} )); then
+  echo "failed benches: ${failed[*]}" >&2
+  exit 1
+fi

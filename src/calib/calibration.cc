@@ -32,11 +32,10 @@ Catalog MakeCalibrationCatalog() {
   t.row_width_bytes = kCalWidth;
   t.columns = {{"pk", kCalRows}, {"k100", 100.0}};
   simdb::TableId id = cat.AddTable(std::move(t));
-  simdb::IndexDef idx;
-  idx.name = "caldata_pk";
-  idx.table = id;
-  idx.column = "pk";
-  idx.clustered = true;
+  // Direct aggregate init (rather than member-wise assignment) sidesteps a
+  // GCC 12 -O3 -Wmaybe-uninitialized false positive on the SSO strings.
+  simdb::IndexDef idx{
+      .name = "caldata_pk", .table = id, .column = "pk", .clustered = true};
   cat.AddIndex(std::move(idx));
   return cat;
 }

@@ -100,7 +100,11 @@ QuerySpec TpchQuery(const TpchDatabase& db, int number) {
   auto rows = [&](TableId id) { return cat.table(id).rows; };
 
   QuerySpec q;
-  q.name = "Q" + std::to_string(number);
+  // snprintf instead of `"Q" + to_string(...)`: the string concatenation
+  // overloads trip GCC 12 -O3 -Wrestrict false positives inside libstdc++.
+  char qname[8];
+  std::snprintf(qname, sizeof(qname), "Q%d", number);
+  q.name = qname;
   switch (number) {
     case 1: {
       // Pricing summary: lineitem scan, heavy 8-aggregate grouping into

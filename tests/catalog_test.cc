@@ -38,11 +38,7 @@ TEST(CatalogTest, PagesScaleWithRowsAndWidth) {
 TEST(CatalogTest, IndexLookupByTableAndColumn) {
   Catalog cat;
   TableId t = cat.AddTable(MakeTable("t", 100000, 100));
-  IndexDef idx;
-  idx.name = "t_pk";
-  idx.table = t;
-  idx.column = "pk";
-  idx.clustered = true;
+  IndexDef idx{.name = "t_pk", .table = t, .column = "pk", .clustered = true};
   IndexId id = cat.AddIndex(idx);
   EXPECT_EQ(cat.FindIndex(t, "pk"), id);
   EXPECT_EQ(cat.FindIndex(t, "other"), kInvalidIndex);

@@ -21,11 +21,7 @@ Catalog MakeCatalog() {
   s.rows = 10000;
   s.row_width_bytes = 50;
   cat.AddTable(s);
-  IndexDef idx;
-  idx.name = "big_pk";
-  idx.table = 0;
-  idx.column = "pk";
-  idx.clustered = true;
+  IndexDef idx{.name = "big_pk", .table = 0, .column = "pk", .clustered = true};
   cat.AddIndex(idx);
   return cat;
 }

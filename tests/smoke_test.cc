@@ -1,0 +1,42 @@
+// Build-harness smoke test: links vdba_core end to end so that a link
+// regression in any layer (util → workload → simdb → simvm → calib →
+// scenario → advisor) fails fast with a single obvious test, before the
+// heavier suites run. Keep this test minimal and dependency-maximal.
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "scenario/scenario.h"
+#include "workload/tpch.h"
+
+namespace vdba {
+namespace {
+
+TEST(SmokeTest, TestbedToAdvisorToRecommendation) {
+  // Touch every layer once: Testbed (scenario + calib + simvm + simdb),
+  // workload generation, and the advisor's greedy enumeration.
+  scenario::Testbed tb;
+
+  simdb::Workload w1;
+  w1.AddStatement(workload::TpchQuery(tb.tpch_sf10(), 17), 1.0);
+  simdb::Workload w2;
+  w2.AddStatement(workload::TpchQuery(tb.tpch_sf10(), 18), 1.0);
+  std::vector<advisor::Tenant> tenants = {tb.MakeTenant(tb.pg_sf10(), w1),
+                                          tb.MakeTenant(tb.db2_sf10(), w2)};
+
+  advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants);
+  advisor::Recommendation rec = adv.Recommend();
+
+  ASSERT_EQ(rec.allocations.size(), tenants.size());
+  ASSERT_EQ(rec.estimated_seconds.size(), tenants.size());
+  double cpu_total = 0.0;
+  for (const simvm::VmResources& r : rec.allocations) {
+    EXPECT_GT(r.cpu_share, 0.0);
+    EXPECT_LE(r.cpu_share, 1.0);
+    cpu_total += r.cpu_share;
+  }
+  EXPECT_LE(cpu_total, 1.0 + 1e-9);
+  for (double s : rec.estimated_seconds) EXPECT_GT(s, 0.0);
+}
+
+}  // namespace
+}  // namespace vdba
