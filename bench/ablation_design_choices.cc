@@ -69,17 +69,17 @@ int main() {
     std::vector<advisor::Tenant> t2 = {local.MakeTenant(local.db2_sf1(), w1),
                                        local.MakeTenant(local.db2_sf1(), w2)};
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(local.machine(), t2, opts);
     advisor::GreedyEnumerator greedy(opts.enumerator);
-    auto init = std::vector<simvm::VmResources>(
-        2, simvm::VmResources{0.5, local.CpuExperimentMemShare()});
+    auto init = std::vector<simvm::ResourceVector>(
+        2, simvm::ResourceVector{0.5, local.CpuExperimentMemShare()});
     auto res = greedy.Run(adv.estimator(), adv.QosList(), init);
     double est_def = adv.EstimateTotalSeconds(init);
     double est_rec = adv.EstimateTotalSeconds(res.allocations);
     c.AddRow({TablePrinter::Num(contention, 1),
-              TablePrinter::Pct(res.allocations[0].cpu_share, 0),
-              TablePrinter::Pct(res.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(res.allocations[0].cpu_share(), 0),
+              TablePrinter::Pct(res.allocations[1].cpu_share(), 0),
               TablePrinter::Pct((est_def - est_rec) / est_def, 1)});
   }
   c.Print();

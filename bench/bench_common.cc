@@ -134,10 +134,10 @@ scenario::Testbed& SharedTestbed() {
   return testbed;
 }
 
-std::vector<simvm::VmResources> CpuExperimentDefault(int n) {
-  return std::vector<simvm::VmResources>(
+std::vector<simvm::ResourceVector> CpuExperimentDefault(int n) {
+  return std::vector<simvm::ResourceVector>(
       static_cast<size_t>(n),
-      simvm::VmResources{1.0 / n, SharedTestbed().CpuExperimentMemShare()});
+      simvm::ResourceVector{1.0 / n, SharedTestbed().CpuExperimentMemShare()});
 }
 
 }  // namespace vdba::bench

@@ -32,7 +32,7 @@ void RecordMetric(const std::string& name, double value);
 scenario::Testbed& SharedTestbed();
 
 /// CPU-only experiment allocations: equal CPU, fixed experiment memory.
-std::vector<simvm::VmResources> CpuExperimentDefault(int n);
+std::vector<simvm::ResourceVector> CpuExperimentDefault(int n);
 
 }  // namespace vdba::bench
 

@@ -34,9 +34,9 @@ int main() {
 
   TablePrinter t({"workload", "alloc (cpu/mem)", "T_default", "T_advisor",
                   "delta"});
-  auto alloc_str = [](const simvm::VmResources& r) {
-    return TablePrinter::Pct(r.cpu_share, 0) + " / " +
-           TablePrinter::Pct(r.mem_share, 0);
+  auto alloc_str = [](const simvm::ResourceVector& r) {
+    return TablePrinter::Pct(r.cpu_share(), 0) + " / " +
+           TablePrinter::Pct(r.mem_share(), 0);
   };
   t.AddRow({"PostgreSQL (Q17, 10GB)", alloc_str(rec.allocations[0]),
             TablePrinter::Num(pg_def, 1) + "s", TablePrinter::Num(pg_rec, 1) + "s",

@@ -30,7 +30,7 @@ void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
     std::vector<advisor::Tenant> tenants = {tb.MakeTenant(engine, w1),
                                             tb.MakeTenant(engine, w2)};
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::GreedyEnumerator greedy(opts.enumerator);
     auto init = CpuExperimentDefault(2);
@@ -40,7 +40,7 @@ void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
     double act_def = tb.TrueTotalSeconds(tenants, init);
     double act_rec = tb.TrueTotalSeconds(tenants, res.allocations);
     t.AddRow({std::to_string(k),
-              TablePrinter::Pct(res.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(res.allocations[1].cpu_share(), 0),
               TablePrinter::Pct((est_def - est_rec) / est_def, 1),
               TablePrinter::Pct((act_def - act_rec) / act_def, 1),
               std::to_string(res.iterations)});

@@ -26,7 +26,7 @@ void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
     std::vector<advisor::Tenant> tenants = {tb.MakeTenant(engine, w3),
                                             tb.MakeTenant(engine, w4)};
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::GreedyEnumerator greedy(opts.enumerator);
     auto init = CpuExperimentDefault(2);
@@ -36,7 +36,7 @@ void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
     double act_def = tb.TrueTotalSeconds(tenants, init);
     double act_rec = tb.TrueTotalSeconds(tenants, res.allocations);
     t.AddRow({std::to_string(k),
-              TablePrinter::Pct(res.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(res.allocations[1].cpu_share(), 0),
               TablePrinter::Pct((est_def - est_rec) / est_def, 1),
               TablePrinter::Pct((act_def - act_rec) / act_def, 1)});
   }

@@ -28,7 +28,7 @@ void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
     std::vector<advisor::Tenant> tenants = {tb.MakeTenant(engine, w5),
                                             tb.MakeTenant(engine, w6)};
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::GreedyEnumerator greedy(opts.enumerator);
     auto init = CpuExperimentDefault(2);
@@ -36,7 +36,7 @@ void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
     double est_def = adv.EstimateTotalSeconds(init);
     double est_rec = adv.EstimateTotalSeconds(res.allocations);
     t.AddRow({std::to_string(k),
-              TablePrinter::Pct(res.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(res.allocations[1].cpu_share(), 0),
               TablePrinter::Pct(static_cast<double>(k) / (k + 1), 0),
               TablePrinter::Pct((est_def - est_rec) / est_def, 1)});
   }

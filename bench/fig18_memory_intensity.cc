@@ -34,8 +34,8 @@ int main() {
     advisor::Recommendation rec = adv.Recommend();
     double act = tb.ActualImprovement(tenants, rec.allocations);
     t.AddRow({std::to_string(k),
-              TablePrinter::Pct(rec.allocations[1].mem_share, 0),
-              TablePrinter::Pct(rec.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(rec.allocations[1].mem_share(), 0),
+              TablePrinter::Pct(rec.allocations[1].cpu_share(), 0),
               TablePrinter::Pct(rec.estimated_improvement, 1),
               TablePrinter::Pct(act, 1)});
   }

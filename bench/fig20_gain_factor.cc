@@ -29,13 +29,13 @@ int main() {
     }
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants);
     advisor::Recommendation rec = adv.Recommend();
-    double rest = (rec.allocations[2].cpu_share +
-                   rec.allocations[3].cpu_share +
-                   rec.allocations[4].cpu_share) /
+    double rest = (rec.allocations[2].cpu_share() +
+                   rec.allocations[3].cpu_share() +
+                   rec.allocations[4].cpu_share()) /
                   3.0;
     t.AddRow({TablePrinter::Num(g9, 0),
-              TablePrinter::Pct(rec.allocations[0].cpu_share, 0),
-              TablePrinter::Pct(rec.allocations[1].cpu_share, 0),
+              TablePrinter::Pct(rec.allocations[0].cpu_share(), 0),
+              TablePrinter::Pct(rec.allocations[1].cpu_share(), 0),
               TablePrinter::Pct(rest, 0)});
   }
   t.Print();

@@ -37,7 +37,7 @@ void SweepN(const std::vector<advisor::Tenant>& all_tenants,
     std::vector<advisor::Tenant> tenants(all_tenants.begin(),
                                          all_tenants.begin() + n);
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::GreedyEnumerator greedy(opts.enumerator);
     auto res =
@@ -46,8 +46,8 @@ void SweepN(const std::vector<advisor::Tenant>& all_tenants,
     std::vector<double> shares;
     for (int i = 0; i < static_cast<int>(all_tenants.size()); ++i) {
       if (i < n) {
-        row.push_back(TablePrinter::Pct(res.allocations[i].cpu_share, 0));
-        shares.push_back(res.allocations[i].cpu_share);
+        row.push_back(TablePrinter::Pct(res.allocations[i].cpu_share(), 0));
+        shares.push_back(res.allocations[i].cpu_share());
       } else {
         row.push_back("-");
       }

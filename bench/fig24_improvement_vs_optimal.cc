@@ -24,7 +24,7 @@ class NoWhatIfEstimator : public advisor::CostEstimator {
  public:
   explicit NoWhatIfEstimator(std::vector<advisor::Tenant> tenants)
       : tenants_(std::move(tenants)) {}
-  double EstimateSeconds(int tenant, const simvm::VmResources&) override {
+  double EstimateSeconds(int tenant, const simvm::ResourceVector&) override {
     const advisor::Tenant& t = tenants_[static_cast<size_t>(tenant)];
     double total = 0.0;
     for (const auto& s : t.workload.statements) {
@@ -75,13 +75,13 @@ int main() {
           tb.MakeTenant(tb.pg_sf10(), mixes[static_cast<size_t>(i)]));
     }
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::GreedyEnumerator greedy(opts.enumerator);
     auto init = CpuExperimentDefault(n);
     auto rec = greedy.Run(adv.estimator(), adv.QosList(), init);
 
-    auto actual_total = [&](const std::vector<simvm::VmResources>& a) {
+    auto actual_total = [&](const std::vector<simvm::ResourceVector>& a) {
       return tb.TrueTotalSeconds(tenants, a);
     };
     double t_def = actual_total(init);
@@ -93,7 +93,9 @@ int main() {
     if (n <= 3) {
       best = advisor::ExhaustiveSearch(n, actual_total, search_opts).value();
       // The exhaustive grid uses mem=1/n; re-pin to the experiment memory.
-      for (auto& r : best.allocations) r.mem_share = init[0].mem_share;
+      for (auto& r : best.allocations) {
+        r.set(simvm::kMemDim, init[0].mem_share());
+      }
       best.objective = actual_total(best.allocations);
     } else {
       best = advisor::LocalSearch({init, rec.allocations}, actual_total,

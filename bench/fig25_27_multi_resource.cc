@@ -71,8 +71,8 @@ int main() {
     std::vector<std::string> mem_row = {std::to_string(n), "mem"};
     for (int i = 0; i < 10; ++i) {
       if (i < n) {
-        cpu_row.push_back(TablePrinter::Pct(rec.allocations[i].cpu_share, 0));
-        mem_row.push_back(TablePrinter::Pct(rec.allocations[i].mem_share, 0));
+        cpu_row.push_back(TablePrinter::Pct(rec.allocations[i].cpu_share(), 0));
+        mem_row.push_back(TablePrinter::Pct(rec.allocations[i].mem_share(), 0));
       } else {
         cpu_row.push_back("-");
         mem_row.push_back("-");
@@ -81,7 +81,7 @@ int main() {
     t.AddRow(cpu_row);
     t.AddRow(mem_row);
 
-    auto actual_total = [&](const std::vector<simvm::VmResources>& a) {
+    auto actual_total = [&](const std::vector<simvm::ResourceVector>& a) {
       return tb.TrueTotalSeconds(tenants, a);
     };
     auto def = advisor::DefaultAllocation(n);

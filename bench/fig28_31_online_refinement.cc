@@ -37,12 +37,12 @@ void RunForFlavor(simdb::EngineFlavor flavor, const char* figures) {
       tenants.push_back(tb.MakeTenant(*engine, set.workloads[idx]));
     }
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::OnlineRefinement refine(&adv, tb.hypervisor());
     advisor::RefinementResult res = refine.Run();
 
-    auto actual_total = [&](const std::vector<simvm::VmResources>& a) {
+    auto actual_total = [&](const std::vector<simvm::ResourceVector>& a) {
       return tb.TrueTotalSeconds(tenants, a);
     };
     auto init = CpuExperimentDefault(n);
@@ -58,8 +58,8 @@ void RunForFlavor(simdb::EngineFlavor flavor, const char* figures) {
     double pre_cpu = 0.0, post_cpu = 0.0;
     int oltp_count = 0;
     for (int i = 0; i < n; i += 2) {
-      pre_cpu += res.initial_allocations[i].cpu_share;
-      post_cpu += res.final_allocations[i].cpu_share;
+      pre_cpu += res.initial_allocations[i].cpu_share();
+      post_cpu += res.final_allocations[i].cpu_share();
       ++oltp_count;
     }
     pre_cpu /= oltp_count;

@@ -54,9 +54,9 @@ int main() {
     for (int i = 0; i < 6; ++i) {
       if (i < n) {
         cpu_row.push_back(
-            TablePrinter::Pct(res.final_allocations[i].cpu_share, 0));
+            TablePrinter::Pct(res.final_allocations[i].cpu_share(), 0));
         mem_row.push_back(
-            TablePrinter::Pct(res.final_allocations[i].mem_share, 0));
+            TablePrinter::Pct(res.final_allocations[i].mem_share(), 0));
       } else {
         cpu_row.push_back("-");
         mem_row.push_back("-");
@@ -65,7 +65,7 @@ int main() {
     shares.AddRow(cpu_row);
     shares.AddRow(mem_row);
 
-    auto actual_total = [&](const std::vector<simvm::VmResources>& a) {
+    auto actual_total = [&](const std::vector<simvm::ResourceVector>& a) {
       return tb.TrueTotalSeconds(tenants, a);
     };
     auto def = advisor::DefaultAllocation(n);

@@ -35,7 +35,7 @@ std::vector<PeriodRow> RunPolicy(advisor::ReallocationPolicy policy) {
       tb.MakeTenant(tb.db2_mixed(), tpch_units(0)),
       tb.MakeTenant(tb.db2_mixed(), tpcc)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate_memory = false;
+  opts.enumerator.allocate[simvm::kMemDim] = false;
   advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
   advisor::DynamicOptions dyn;
   dyn.policy = policy;
@@ -57,8 +57,8 @@ std::vector<PeriodRow> RunPolicy(advisor::ReallocationPolicy policy) {
     double t_def = tb.TrueTotalSeconds(observed_tenants,
                                        advisor::DefaultAllocation(2));
     PeriodRow row;
-    row.tpch_tenant_cpu = swapped ? current[1].cpu_share
-                                  : current[0].cpu_share;
+    row.tpch_tenant_cpu = swapped ? current[1].cpu_share()
+                                  : current[0].cpu_share();
     row.improvement = (t_def - t_cur) / t_def;
     rows.push_back(row);
     mgr.EndPeriod(observed);

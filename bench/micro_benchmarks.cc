@@ -1,7 +1,14 @@
 // google-benchmark micro-benchmarks for the advisor's hot paths: what-if
 // optimizer calls, estimator caching (design decision D3), greedy
-// enumeration, fitted-model evaluation, and activity computation.
+// enumeration, batched what-if estimation, fitted-model evaluation, and
+// activity computation. main() additionally times EstimateBatch against
+// sequential estimation and records the speedup into
+// BENCH_micro_benchmarks.json via the bench_common metric hook.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "advisor/advisor.h"
 #include "advisor/fitted_cost_model.h"
@@ -12,6 +19,26 @@ using namespace vdba;         // NOLINT
 using namespace vdba::bench;  // NOLINT
 
 namespace {
+
+/// A what-if-heavy workload (every DSS query once) and a grid of candidate
+/// allocations — the shape of one greedy iteration's estimation work.
+simdb::Workload DssWorkload(const scenario::Testbed& tb) {
+  simdb::Workload w;
+  for (int qn : {1, 3, 4, 6, 7, 12, 14, 16, 17, 18, 21, 22}) {
+    w.AddStatement(workload::TpchQuery(tb.tpch_sf1(), qn), 1.0);
+  }
+  return w;
+}
+
+std::vector<simvm::ResourceVector> CandidateGrid(double step) {
+  std::vector<simvm::ResourceVector> grid;
+  for (double c = step; c <= 1.0 + 1e-9; c += step) {
+    for (double m = step; m <= 1.0 + 1e-9; m += step) {
+      grid.push_back({std::min(c, 1.0), std::min(m, 1.0)});
+    }
+  }
+  return grid;
+}
 
 void BM_WhatIfOptimizeQ18(benchmark::State& state) {
   scenario::Testbed& tb = SharedTestbed();
@@ -110,6 +137,85 @@ void BM_TrueWorkloadSeconds(benchmark::State& state) {
 }
 BENCHMARK(BM_TrueWorkloadSeconds);
 
+void BM_EstimateSequential(benchmark::State& state) {
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload w = DssWorkload(tb);
+  std::vector<simvm::ResourceVector> grid = CandidateGrid(0.1);
+  for (auto _ : state) {
+    // Fresh estimator per iteration: only cache misses do real work.
+    advisor::WhatIfCostEstimator est(tb.machine(),
+                                     {tb.MakeTenant(tb.pg_sf1(), w)});
+    for (const auto& r : grid) {
+      benchmark::DoNotOptimize(est.EstimateSeconds(0, r));
+    }
+  }
+}
+BENCHMARK(BM_EstimateSequential)->Unit(benchmark::kMillisecond);
+
+void BM_EstimateBatch(benchmark::State& state) {
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload w = DssWorkload(tb);
+  std::vector<simvm::ResourceVector> grid = CandidateGrid(0.1);
+  advisor::WhatIfEstimatorOptions opts;
+  // Note: the calling thread works alongside the pool, so batch_threads=1
+  // still computes 2-way parallel; BM_EstimateSequential is the 1-thread
+  // baseline.
+  opts.batch_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    advisor::WhatIfCostEstimator est(
+        tb.machine(), {tb.MakeTenant(tb.pg_sf1(), w)}, opts);
+    benchmark::DoNotOptimize(est.EstimateBatch(0, grid));
+  }
+}
+BENCHMARK(BM_EstimateBatch)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/// Times one full-grid estimation pass sequentially vs batched and records
+/// the wall-time speedup (the acceptance metric for the batch API).
+void RecordEstimateBatchSpeedup() {
+  PrintHeader("micro_benchmarks",
+              "EstimateBatch vs sequential what-if estimation (plus the "
+              "google-benchmark suite below)");
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload w = DssWorkload(tb);
+  std::vector<simvm::ResourceVector> grid = CandidateGrid(0.05);
+
+  auto time_once = [&](int batch_threads, bool batched) {
+    advisor::WhatIfEstimatorOptions opts;
+    opts.batch_threads = batch_threads;
+    advisor::WhatIfCostEstimator est(
+        tb.machine(), {tb.MakeTenant(tb.pg_sf1(), w)}, opts);
+    auto start = std::chrono::steady_clock::now();
+    if (batched) {
+      est.EstimateBatch(0, grid);
+    } else {
+      for (const auto& r : grid) est.EstimateSeconds(0, r);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  // Warm up once (testbed queries, allocators), then measure.
+  time_once(1, false);
+  double seq_seconds = time_once(1, false);
+  double batch_seconds = time_once(0, true);
+  double speedup = batch_seconds > 0.0 ? seq_seconds / batch_seconds : 0.0;
+  std::printf("EstimateBatch: %zu candidates, sequential %.1f ms, "
+              "batched %.1f ms, speedup %.2fx\n",
+              grid.size(), seq_seconds * 1e3, batch_seconds * 1e3, speedup);
+  RecordMetric("estimate_batch_candidates", static_cast<double>(grid.size()));
+  RecordMetric("estimate_batch_sequential_ms", seq_seconds * 1e3);
+  RecordMetric("estimate_batch_parallel_ms", batch_seconds * 1e3);
+  RecordMetric("estimate_batch_speedup", speedup);
+  PrintFooter();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordEstimateBatchSpeedup();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

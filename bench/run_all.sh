@@ -42,7 +42,10 @@ failed=()
 for bench in "${benches[@]}"; do
   exe="$build_dir/$bench"
   if [[ ! -x "$exe" ]]; then
-    echo "skip: $bench (not built)"
+    # A bench source without a binary means the build dropped it — that is
+    # a failure, not something to skip silently.
+    echo "MISSING: $bench (not built in $build_dir)" >&2
+    failed+=("$bench")
     continue
   fi
   echo "=== $bench ==="
@@ -54,7 +57,12 @@ for bench in "${benches[@]}"; do
   fi
 done
 
-# micro_benchmarks (Google Benchmark) emits its own JSON natively.
+# micro_benchmarks (Google Benchmark) emits its own JSON natively; it is
+# optional at build time (the library may be absent), so missing is only a
+# note, not a failure.
+if [[ ! -x "$build_dir/micro_benchmarks" ]]; then
+  echo "note: micro_benchmarks not built (Google Benchmark not installed?)"
+fi
 if [[ -x "$build_dir/micro_benchmarks" ]]; then
   echo "=== micro_benchmarks ==="
   if ! "$build_dir/micro_benchmarks" \

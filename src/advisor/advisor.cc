@@ -9,8 +9,8 @@ VirtualizationDesignAdvisor::VirtualizationDesignAdvisor(
     AdvisorOptions options)
     : machine_(machine),
       options_(options),
-      estimator_(std::make_unique<WhatIfCostEstimator>(machine,
-                                                       std::move(tenants))) {}
+      estimator_(std::make_unique<WhatIfCostEstimator>(
+          machine, std::move(tenants), options.estimator)) {}
 
 std::vector<QosSpec> VirtualizationDesignAdvisor::QosList() const {
   std::vector<QosSpec> qos;
@@ -31,8 +31,8 @@ Recommendation VirtualizationDesignAdvisor::Recommend() {
   rec.converged = res.converged;
   rec.violated_qos = res.violated_qos;
 
-  double t_default =
-      EstimateTotalSeconds(DefaultAllocation(num_tenants()));
+  double t_default = EstimateTotalSeconds(
+      DefaultAllocation(num_tenants(), estimator_->num_dims()));
   double t_advisor = 0.0;
   for (double c : res.tenant_costs) t_advisor += c;
   rec.estimated_improvement =
@@ -41,7 +41,7 @@ Recommendation VirtualizationDesignAdvisor::Recommend() {
 }
 
 double VirtualizationDesignAdvisor::EstimateTotalSeconds(
-    const std::vector<simvm::VmResources>& alloc) {
+    const std::vector<simvm::ResourceVector>& alloc) {
   VDBA_CHECK_EQ(static_cast<int>(alloc.size()), num_tenants());
   double total = 0.0;
   for (int i = 0; i < num_tenants(); ++i) {

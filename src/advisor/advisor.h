@@ -20,11 +20,12 @@ namespace vdba::advisor {
 /// Advisor configuration.
 struct AdvisorOptions {
   EnumeratorOptions enumerator;
+  WhatIfEstimatorOptions estimator;
 };
 
 /// A static recommendation.
 struct Recommendation {
-  std::vector<simvm::VmResources> allocations;
+  std::vector<simvm::ResourceVector> allocations;
   /// Estimated per-tenant completion times at the recommendation.
   std::vector<double> estimated_seconds;
   /// Estimated objective (gain-weighted total seconds).
@@ -50,7 +51,7 @@ class VirtualizationDesignAdvisor {
   Recommendation Recommend();
 
   /// Estimated total seconds at an arbitrary allocation (for baselines).
-  double EstimateTotalSeconds(const std::vector<simvm::VmResources>& alloc);
+  double EstimateTotalSeconds(const std::vector<simvm::ResourceVector>& alloc);
 
   WhatIfCostEstimator* estimator() { return estimator_.get(); }
   const simvm::PhysicalMachine& machine() const { return machine_; }

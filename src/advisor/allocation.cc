@@ -1,0 +1,38 @@
+#include "advisor/allocation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace vdba::advisor {
+
+std::vector<simvm::ResourceVector> DefaultAllocation(int n, int dims) {
+  VDBA_CHECK_GT(n, 0);
+  return std::vector<simvm::ResourceVector>(
+      static_cast<size_t>(n), simvm::ResourceVector::Uniform(dims, 1.0 / n));
+}
+
+bool CanRaise(const simvm::ResourceVector& r, int dim, double delta) {
+  return r[dim] + delta <= 1.0 + kShareEpsilon;
+}
+
+bool CanLower(const simvm::ResourceVector& r, int dim, double delta,
+              double min_share) {
+  return r[dim] - delta >= min_share - kShareEpsilon;
+}
+
+simvm::ResourceVector Raised(const simvm::ResourceVector& r, int dim,
+                             double delta) {
+  simvm::ResourceVector up = r;
+  up.set(dim, std::min(1.0, r[dim] + delta));
+  return up;
+}
+
+simvm::ResourceVector Lowered(const simvm::ResourceVector& r, int dim,
+                              double delta) {
+  simvm::ResourceVector down = r;
+  down.set(dim, r[dim] - delta);
+  return down;
+}
+
+}  // namespace vdba::advisor

@@ -1,0 +1,42 @@
+// Shared allocation arithmetic for every enumerator and search strategy.
+//
+// All of them move shares in delta steps inside the per-dimension box
+// [min_share, 1]; centralizing the feasibility tests (and their epsilon)
+// keeps greedy, exhaustive, local search, and feasibility restoration in
+// exact agreement about which moves are legal.
+#ifndef VDBA_ADVISOR_ALLOCATION_H_
+#define VDBA_ADVISOR_ALLOCATION_H_
+
+#include <vector>
+
+#include "simvm/resource_vector.h"
+
+namespace vdba::advisor {
+
+/// Slack used by every share-boundary comparison.
+inline constexpr double kShareEpsilon = 1e-9;
+
+/// Equal 1/N shares for N tenants over `dims` dimensions (the paper's
+/// default allocation, which every experiment uses as the baseline).
+std::vector<simvm::ResourceVector> DefaultAllocation(int n, int dims = 2);
+
+/// True when dimension `dim` of `r` can absorb +delta without exceeding a
+/// full share.
+bool CanRaise(const simvm::ResourceVector& r, int dim, double delta);
+
+/// True when dimension `dim` of `r` can give up delta without dropping
+/// below `min_share` (a VM with 0% of any resource cannot run at all).
+bool CanLower(const simvm::ResourceVector& r, int dim, double delta,
+              double min_share);
+
+/// Copy of `r` with dimension `dim` raised by delta, clamped to 1.
+simvm::ResourceVector Raised(const simvm::ResourceVector& r, int dim,
+                             double delta);
+
+/// Copy of `r` with dimension `dim` lowered by delta.
+simvm::ResourceVector Lowered(const simvm::ResourceVector& r, int dim,
+                              double delta);
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_ALLOCATION_H_

@@ -1,21 +1,28 @@
 #include "advisor/cost_estimator.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "util/check.h"
 
 namespace vdba::advisor {
 
-namespace {
-// Shares are quantized to 0.1% for caching; the enumerator moves in much
-// larger steps (default 5%).
-int Quantize(double share) { return static_cast<int>(std::lround(share * 1000.0)); }
-}  // namespace
+std::vector<double> CostEstimator::EstimateBatch(
+    int tenant, std::span<const simvm::ResourceVector> candidates) {
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (const simvm::ResourceVector& r : candidates) {
+    out.push_back(EstimateSeconds(tenant, r));
+  }
+  return out;
+}
 
 WhatIfCostEstimator::WhatIfCostEstimator(const simvm::PhysicalMachine& machine,
-                                         std::vector<Tenant> tenants)
-    : machine_(machine), tenants_(std::move(tenants)) {
+                                         std::vector<Tenant> tenants,
+                                         WhatIfEstimatorOptions options)
+    : machine_(machine), options_(options), tenants_(std::move(tenants)) {
   VDBA_CHECK(!tenants_.empty());
+  VDBA_CHECK_GT(options_.cache_granularity, 0.0);
   for (const Tenant& t : tenants_) {
     VDBA_CHECK(t.engine != nullptr);
     VDBA_CHECK(t.calibration != nullptr);
@@ -25,48 +32,155 @@ WhatIfCostEstimator::WhatIfCostEstimator(const simvm::PhysicalMachine& machine,
   observations_.resize(tenants_.size());
 }
 
+WhatIfCostEstimator::~WhatIfCostEstimator() = default;
+
+size_t WhatIfCostEstimator::CacheKeyHash::operator()(
+    const CacheKey& k) const {
+  // splitmix64-style hash combine; the seed's multiply-add scheme collided
+  // whenever quantized shares traded off against each other.
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(k.tenant);
+  for (int qd : k.q) {
+    uint64_t x = static_cast<uint64_t>(static_cast<int64_t>(qd)) +
+                 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    h ^= x;
+  }
+  return static_cast<size_t>(h);
+}
+
+WhatIfCostEstimator::CacheKey WhatIfCostEstimator::MakeKey(
+    int tenant, const simvm::ResourceVector& r) const {
+  CacheKey key;
+  key.tenant = tenant;
+  for (int d = 0; d < simvm::kMaxResourceDims; ++d) {
+    key.q[static_cast<size_t>(d)] = static_cast<int>(
+        std::lround(r.share(d) / options_.cache_granularity));
+  }
+  return key;
+}
+
+WhatIfCostEstimator::CacheValue WhatIfCostEstimator::Compute(
+    int tenant, const simvm::ResourceVector& r, long* calls) const {
+  const Tenant& t = tenants_[static_cast<size_t>(tenant)];
+  simdb::EngineParams params =
+      t.calibration->ParamsFor(r, machine_.VmMemoryMb(r));
+  double total = 0.0;
+  std::string signature;
+  for (const auto& stmt : t.workload.statements) {
+    simdb::OptimizeResult opt = t.engine->WhatIfOptimize(stmt.query, params);
+    ++*calls;
+    total += t.calibration->ToSeconds(opt.native_cost, r) * stmt.frequency;
+    signature += opt.signature;
+    signature += ';';
+  }
+  return CacheValue{total, std::move(signature)};
+}
+
+const WhatIfCostEstimator::CacheValue& WhatIfCostEstimator::Insert(
+    const CacheKey& key, int tenant, const simvm::ResourceVector& r,
+    CacheValue value) {
+  auto [pos, inserted] = cache_.emplace(key, std::move(value));
+  VDBA_CHECK(inserted);
+  observations_[static_cast<size_t>(tenant)].push_back(
+      WhatIfObservation{r, pos->second.est_seconds, pos->second.signature});
+  return pos->second;
+}
+
 const WhatIfCostEstimator::CacheValue& WhatIfCostEstimator::Lookup(
-    int tenant, const simvm::VmResources& r) {
+    int tenant, const simvm::ResourceVector& r) {
   VDBA_CHECK_GE(tenant, 0);
   VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
   VDBA_CHECK_MSG(r.Valid(), "invalid allocation %s", r.ToString().c_str());
 
-  CacheKey key{tenant, Quantize(r.cpu_share), Quantize(r.mem_share)};
+  // Canonical machine dimensionality keeps the observation log's feature
+  // vectors uniform (missing dimensions are unallocated = share 1).
+  simvm::ResourceVector canon = r.Expanded(num_dims());
+  CacheKey key = MakeKey(tenant, canon);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++cache_hits_;
     return it->second;
   }
-
-  const Tenant& t = tenants_[static_cast<size_t>(tenant)];
-  simdb::EngineParams params =
-      t.calibration->ParamsFor(r.cpu_share, r.MemoryMb(machine_));
-  double total = 0.0;
-  std::string signature;
-  for (const auto& stmt : t.workload.statements) {
-    simdb::OptimizeResult opt = t.engine->WhatIfOptimize(stmt.query, params);
-    ++optimizer_calls_;
-    total += t.calibration->ToSeconds(opt.native_cost) * stmt.frequency;
-    signature += opt.signature;
-    signature += ';';
-  }
-
-  auto [pos, inserted] =
-      cache_.emplace(key, CacheValue{total, std::move(signature)});
-  VDBA_CHECK(inserted);
-  observations_[static_cast<size_t>(tenant)].push_back(
-      WhatIfObservation{r, total, pos->second.signature});
-  return pos->second;
+  CacheValue value = Compute(tenant, canon, &optimizer_calls_);
+  return Insert(key, tenant, canon, std::move(value));
 }
 
 double WhatIfCostEstimator::EstimateSeconds(int tenant,
-                                            const simvm::VmResources& r) {
+                                            const simvm::ResourceVector& r) {
   return Lookup(tenant, r).est_seconds;
 }
 
-double WhatIfCostEstimator::EstimateWithSignature(int tenant,
-                                                  const simvm::VmResources& r,
-                                                  std::string* signature) {
+ThreadPool* WhatIfCostEstimator::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.batch_threads);
+  }
+  return pool_.get();
+}
+
+std::vector<double> WhatIfCostEstimator::EstimateBatch(
+    int tenant, std::span<const simvm::ResourceVector> candidates) {
+  VDBA_CHECK_GE(tenant, 0);
+  VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
+
+  // Partition the batch into cache hits and distinct misses (first
+  // occurrence wins, exactly as a sequential run would).
+  struct Miss {
+    CacheKey key;
+    simvm::ResourceVector r;
+    CacheValue value;
+    long calls = 0;
+  };
+  std::vector<Miss> misses;
+  // Per-candidate: index into `misses` for the FIRST occurrence of an
+  // uncached key, -1 for cached keys and later duplicates (which replay
+  // as cache hits below, exactly like a sequential run).
+  std::vector<int> miss_index(candidates.size(), -1);
+  std::unordered_map<CacheKey, int, CacheKeyHash> pending;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    simvm::ResourceVector r = candidates[i].Expanded(num_dims());
+    VDBA_CHECK_MSG(r.Valid(), "invalid allocation %s", r.ToString().c_str());
+    CacheKey key = MakeKey(tenant, r);
+    if (cache_.contains(key)) continue;
+    auto [it, inserted] =
+        pending.emplace(key, static_cast<int>(misses.size()));
+    if (inserted) {
+      misses.push_back(Miss{key, r, CacheValue{}, 0});
+      miss_index[i] = it->second;
+    }
+  }
+
+  // Fan the distinct misses out: the what-if computation is pure, so
+  // parallel execution is bitwise-identical to sequential.
+  if (misses.size() > 1) {
+    pool()->ParallelFor(misses.size(), [&](size_t m) {
+      misses[m].value = Compute(tenant, misses[m].r, &misses[m].calls);
+    });
+  } else if (misses.size() == 1) {
+    misses[0].value = Compute(tenant, misses[0].r, &misses[0].calls);
+  }
+
+  // Commit results in the order a sequential run would have: walk the
+  // candidates, inserting each first-seen miss, counting later duplicates
+  // and pre-existing entries as cache hits.
+  std::vector<double> out(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    int m = miss_index[i];
+    if (m >= 0) {
+      Miss& miss = misses[static_cast<size_t>(m)];
+      optimizer_calls_ += miss.calls;
+      out[i] =
+          Insert(miss.key, tenant, miss.r, std::move(miss.value)).est_seconds;
+    } else {
+      out[i] = Lookup(tenant, candidates[i]).est_seconds;
+    }
+  }
+  return out;
+}
+
+double WhatIfCostEstimator::EstimateWithSignature(
+    int tenant, const simvm::ResourceVector& r, std::string* signature) {
   const CacheValue& v = Lookup(tenant, r);
   if (signature != nullptr) *signature = v.signature;
   return v.est_seconds;

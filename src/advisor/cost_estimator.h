@@ -12,13 +12,17 @@
 #ifndef VDBA_ADVISOR_COST_ESTIMATOR_H_
 #define VDBA_ADVISOR_COST_ESTIMATOR_H_
 
+#include <array>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "advisor/tenant.h"
 #include "simvm/hardware.h"
-#include "simvm/vm.h"
+#include "simvm/resource_vector.h"
+#include "util/thread_pool.h"
 
 namespace vdba::advisor {
 
@@ -27,32 +31,62 @@ namespace vdba::advisor {
 class CostEstimator {
  public:
   virtual ~CostEstimator() = default;
-  virtual double EstimateSeconds(int tenant, const simvm::VmResources& r) = 0;
+  virtual double EstimateSeconds(int tenant,
+                                 const simvm::ResourceVector& r) = 0;
   virtual int num_tenants() const = 0;
+  /// Resource dimensions the estimator models; enumerators size their
+  /// loops and default allocations from this.
+  virtual int num_dims() const { return 2; }
+
+  /// Estimates for a batch of candidate allocations of one tenant.
+  /// Semantically identical to calling EstimateSeconds per candidate in
+  /// order; implementations may parallelize. The default is sequential.
+  virtual std::vector<double> EstimateBatch(
+      int tenant, std::span<const simvm::ResourceVector> candidates);
 };
 
 /// One logged what-if estimate.
 struct WhatIfObservation {
-  simvm::VmResources allocation;
+  simvm::ResourceVector allocation;
   double est_seconds = 0.0;
   /// Concatenated plan signatures of all workload statements; a change in
   /// this string marks a plan change (an A_ij interval boundary).
   std::string plan_signature;
 };
 
+/// WhatIfCostEstimator knobs.
+struct WhatIfEstimatorOptions {
+  /// Cache-key quantization granularity in share units (default 0.1%; the
+  /// enumerator moves in much larger steps, default 5%).
+  double cache_granularity = 0.001;
+  /// Worker threads for EstimateBatch; 0 picks a small hardware-derived
+  /// default. Results are identical for every thread count.
+  int batch_threads = 0;
+};
+
 /// Calibrated what-if estimator over a set of tenants.
 class WhatIfCostEstimator : public CostEstimator {
  public:
   WhatIfCostEstimator(const simvm::PhysicalMachine& machine,
-                      std::vector<Tenant> tenants);
+                      std::vector<Tenant> tenants,
+                      WhatIfEstimatorOptions options = WhatIfEstimatorOptions());
+  ~WhatIfCostEstimator() override;
 
-  double EstimateSeconds(int tenant, const simvm::VmResources& r) override;
+  double EstimateSeconds(int tenant, const simvm::ResourceVector& r) override;
   int num_tenants() const override {
     return static_cast<int>(tenants_.size());
   }
+  int num_dims() const override { return machine_.resources->dims(); }
+
+  /// Parallel what-if estimation: uncached candidates fan out over a small
+  /// thread pool (the optimizer's what-if mode is pure); cache and
+  /// observation log end up exactly as if the batch had run sequentially.
+  std::vector<double> EstimateBatch(
+      int tenant,
+      std::span<const simvm::ResourceVector> candidates) override;
 
   /// Estimate plus the plan signature under that allocation.
-  double EstimateWithSignature(int tenant, const simvm::VmResources& r,
+  double EstimateWithSignature(int tenant, const simvm::ResourceVector& r,
                                std::string* signature);
 
   const std::vector<Tenant>& tenants() const { return tenants_; }
@@ -75,28 +109,33 @@ class WhatIfCostEstimator : public CostEstimator {
  private:
   struct CacheKey {
     int tenant;
-    int cpu_q;  // quantized shares
-    int mem_q;
+    std::array<int, simvm::kMaxResourceDims> q;  // quantized shares
     bool operator==(const CacheKey&) const = default;
   };
   struct CacheKeyHash {
-    size_t operator()(const CacheKey& k) const {
-      return static_cast<size_t>(k.tenant) * 1000003u +
-             static_cast<size_t>(k.cpu_q) * 10007u +
-             static_cast<size_t>(k.mem_q);
-    }
+    size_t operator()(const CacheKey& k) const;
   };
   struct CacheValue {
     double est_seconds;
     std::string signature;
   };
 
-  const CacheValue& Lookup(int tenant, const simvm::VmResources& r);
+  CacheKey MakeKey(int tenant, const simvm::ResourceVector& r) const;
+  /// Pure what-if computation (no cache/log mutation; thread-safe).
+  CacheValue Compute(int tenant, const simvm::ResourceVector& r,
+                     long* calls) const;
+  /// Inserts a computed value into cache + observation log.
+  const CacheValue& Insert(const CacheKey& key, int tenant,
+                           const simvm::ResourceVector& r, CacheValue value);
+  const CacheValue& Lookup(int tenant, const simvm::ResourceVector& r);
+  ThreadPool* pool();
 
   simvm::PhysicalMachine machine_;
+  WhatIfEstimatorOptions options_;
   std::vector<Tenant> tenants_;
   std::vector<std::vector<WhatIfObservation>> observations_;
   std::unordered_map<CacheKey, CacheValue, CacheKeyHash> cache_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Lazily created on first batch.
   long optimizer_calls_ = 0;
   long cache_hits_ = 0;
 };

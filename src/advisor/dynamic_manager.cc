@@ -24,21 +24,24 @@ double DynamicConfigurationManager::AvgEstimatePerQuery(int tenant) {
   // Reference allocation: the default 1/N shares. A fixed reference keeps
   // the metric sensitive to the *nature* of the queries rather than to
   // allocation moves (§6.1).
-  simvm::VmResources ref = DefaultAllocation(advisor_->num_tenants())[0];
+  simvm::ResourceVector ref =
+      DefaultAllocation(advisor_->num_tenants(),
+                        advisor_->estimator()->num_dims())[0];
   double est = advisor_->estimator()->EstimateSeconds(tenant, ref);
   return est / freq;
 }
 
-std::vector<simvm::VmResources> DynamicConfigurationManager::Enumerate() {
+std::vector<simvm::ResourceVector> DynamicConfigurationManager::Enumerate() {
   std::vector<const FittedCostModel*> model_ptrs;
   model_ptrs.reserve(models_.size());
   for (auto& m : models_) model_ptrs.push_back(m.get());
-  ModelCostEstimator estimator(model_ptrs, advisor_->estimator());
+  ModelCostEstimator estimator(model_ptrs, advisor_->estimator(),
+                               advisor_->estimator()->num_dims());
   GreedyEnumerator greedy(advisor_->options().enumerator);
   return greedy.Run(&estimator, advisor_->QosList()).allocations;
 }
 
-std::vector<simvm::VmResources> DynamicConfigurationManager::Initialize() {
+std::vector<simvm::ResourceVector> DynamicConfigurationManager::Initialize() {
   Recommendation rec = advisor_->Recommend();
   const int n = advisor_->num_tenants();
   models_.clear();
@@ -59,7 +62,7 @@ std::vector<simvm::VmResources> DynamicConfigurationManager::Initialize() {
 }
 
 void DynamicConfigurationManager::RebuildModel(
-    int tenant, double observed_actual, const simvm::VmResources& observed_at) {
+    int tenant, double observed_actual, const simvm::ResourceVector& observed_at) {
   // Fresh optimizer-based model: probe the estimator across the allocation
   // range so the new model has intervals and fitting data. (The greedy
   // re-run would also populate the log, but an explicit sweep keeps the
@@ -68,7 +71,8 @@ void DynamicConfigurationManager::RebuildModel(
   for (double share = advisor_->options().enumerator.min_share;
        share <= 1.0 + 1e-9; share += advisor_->options().enumerator.delta) {
     double s = share > 1.0 ? 1.0 : share;
-    est->EstimateSeconds(tenant, simvm::VmResources{s, s});
+    est->EstimateSeconds(
+        tenant, simvm::ResourceVector::Uniform(est->num_dims(), s));
   }
   models_[static_cast<size_t>(tenant)] = std::make_unique<FittedCostModel>(
       FittedCostModel::FromObservations(est->observations(tenant)));
@@ -97,7 +101,7 @@ PeriodResult DynamicConfigurationManager::EndPeriod(
 
   for (int i = 0; i < n; ++i) {
     const size_t si = static_cast<size_t>(i);
-    const simvm::VmResources& r = allocations_[si];
+    const simvm::ResourceVector& r = allocations_[si];
     const Tenant& t = advisor_->estimator()->tenants()[si];
 
     // The period ran `observed[i]` (which may differ from the workload the
@@ -141,13 +145,13 @@ PeriodResult DynamicConfigurationManager::EndPeriod(
       // Minor change (or continuous-refinement policy): one §5 step.
       bool refit = models_[si]->AddActualObservation(r, act);
       if (!refit && est > 0.0) {
-        models_[si]->ScaleSegmentAt(r.mem_share, act / est);
+        models_[si]->ScaleSegmentAt(r.mem_share(), act / est);
       }
     }
     prev_error_[si] = error;
   }
 
-  std::vector<simvm::VmResources> next = Enumerate();
+  std::vector<simvm::ResourceVector> next = Enumerate();
   const double tol = advisor_->options().enumerator.delta / 10.0;
   for (int i = 0; i < n; ++i) {
     refinement_converged_[static_cast<size_t>(i)] =

@@ -42,7 +42,7 @@ struct DynamicOptions {
 /// Outcome of one monitoring period.
 struct PeriodResult {
   /// Allocations to deploy for the next period.
-  std::vector<simvm::VmResources> allocations;
+  std::vector<simvm::ResourceVector> allocations;
   /// Actual completion time of each observed workload in this period.
   std::vector<double> actual_seconds;
   /// Per-tenant relative change of the per-query estimate metric.
@@ -62,7 +62,7 @@ class DynamicConfigurationManager {
 
   /// Produces the initial deployment: static recommendation + model
   /// construction (no refinement yet; refinement happens per period).
-  std::vector<simvm::VmResources> Initialize();
+  std::vector<simvm::ResourceVector> Initialize();
 
   /// Ends monitoring period p: `observed` is the workload each tenant
   /// actually executed during the period (may differ from the previous
@@ -70,7 +70,7 @@ class DynamicConfigurationManager {
   /// the next period's allocations.
   PeriodResult EndPeriod(const std::vector<simdb::Workload>& observed);
 
-  const std::vector<simvm::VmResources>& current_allocations() const {
+  const std::vector<simvm::ResourceVector>& current_allocations() const {
     return allocations_;
   }
 
@@ -82,16 +82,16 @@ class DynamicConfigurationManager {
   /// Rebuilds tenant `i`'s model from fresh optimizer estimates after a
   /// major change, seeding it with one Act/Est refinement step.
   void RebuildModel(int tenant, double observed_actual,
-                    const simvm::VmResources& observed_at);
+                    const simvm::ResourceVector& observed_at);
 
-  std::vector<simvm::VmResources> Enumerate();
+  std::vector<simvm::ResourceVector> Enumerate();
 
   VirtualizationDesignAdvisor* advisor_;
   simvm::Hypervisor* hypervisor_;
   DynamicOptions options_;
 
   std::vector<std::unique_ptr<FittedCostModel>> models_;
-  std::vector<simvm::VmResources> allocations_;
+  std::vector<simvm::ResourceVector> allocations_;
   std::vector<double> prev_metric_;
   std::vector<double> prev_error_;
   std::vector<bool> refinement_converged_;

@@ -30,55 +30,68 @@ void EnumerateShares(int n, double delta, double min_share,
   }
 }
 
+/// Recursive cartesian product over the per-dimension option lists, outer
+/// loop on dimension 0 (the seed's cpu-outer / mem-inner order).
+void ProductOverDims(
+    const std::vector<std::vector<std::vector<double>>>& options_per_dim,
+    int dim, int n, std::vector<simvm::ResourceVector>* alloc,
+    const std::function<void()>& evaluate) {
+  if (dim == static_cast<int>(options_per_dim.size())) {
+    evaluate();
+    return;
+  }
+  for (const auto& shares : options_per_dim[static_cast<size_t>(dim)]) {
+    for (int i = 0; i < n; ++i) {
+      (*alloc)[static_cast<size_t>(i)].set(dim, shares[static_cast<size_t>(i)]);
+    }
+    ProductOverDims(options_per_dim, dim + 1, n, alloc, evaluate);
+  }
+}
+
 }  // namespace
 
 StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
-                                        const EnumeratorOptions& options) {
+                                        const EnumeratorOptions& options,
+                                        int dims) {
   if (n < 1) return Status::InvalidArgument("need at least one tenant");
   if (n > 4) {
     return Status::InvalidArgument(
         "exhaustive search rejects N > 4 (use LocalSearch)");
   }
+  VDBA_CHECK_GT(dims, 0);
+  VDBA_CHECK_LE(dims, simvm::kMaxResourceDims);
   SearchResult best;
   best.objective = std::numeric_limits<double>::infinity();
 
-  std::vector<double> cpu_shares;
-  std::vector<double> mem_shares;
-  std::vector<std::vector<double>> cpu_options;
-  std::vector<std::vector<double>> mem_options;
-
-  // Collect all feasible share vectors per dimension first.
+  // Feasible share vectors of one allocated dimension (shared by all).
+  std::vector<std::vector<double>> allocated_options;
   std::vector<double> scratch;
   EnumerateShares(n, options.delta, options.min_share, &scratch, [&] {
-    cpu_options.push_back(scratch);
+    allocated_options.push_back(scratch);
   });
-  if (options.allocate_memory) {
-    mem_options = cpu_options;
-  } else {
-    mem_options.push_back(
-        std::vector<double>(static_cast<size_t>(n), 1.0 / n));
-  }
-  if (!options.allocate_cpu) {
-    cpu_options.clear();
-    cpu_options.push_back(
-        std::vector<double>(static_cast<size_t>(n), 1.0 / n));
-  }
 
-  std::vector<simvm::VmResources> alloc(static_cast<size_t>(n));
-  for (const auto& cpus : cpu_options) {
-    for (const auto& mems : mem_options) {
-      for (int i = 0; i < n; ++i) {
-        alloc[static_cast<size_t>(i)] = simvm::VmResources{
-            cpus[static_cast<size_t>(i)], mems[static_cast<size_t>(i)]};
-      }
-      double obj = f(alloc);
-      ++best.evaluations;
-      if (obj < best.objective) {
-        best.objective = obj;
-        best.allocations = alloc;
-      }
+  // Per-dimension option lists: pinned dimensions keep the 1/N default.
+  std::vector<std::vector<std::vector<double>>> options_per_dim(
+      static_cast<size_t>(dims));
+  for (int dim = 0; dim < dims; ++dim) {
+    if (options.Allocates(dim)) {
+      options_per_dim[static_cast<size_t>(dim)] = allocated_options;
+    } else {
+      options_per_dim[static_cast<size_t>(dim)] = {
+          std::vector<double>(static_cast<size_t>(n), 1.0 / n)};
     }
   }
+
+  std::vector<simvm::ResourceVector> alloc(
+      static_cast<size_t>(n), simvm::ResourceVector::Uniform(dims, 1.0 / n));
+  ProductOverDims(options_per_dim, 0, n, &alloc, [&] {
+    double obj = f(alloc);
+    ++best.evaluations;
+    if (obj < best.objective) {
+      best.objective = obj;
+      best.allocations = alloc;
+    }
+  });
   if (best.allocations.empty()) {
     return Status::Infeasible("no feasible grid allocation");
   }
@@ -86,14 +99,16 @@ StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
 }
 
 SearchResult LocalSearch(
-    const std::vector<std::vector<simvm::VmResources>>& starts,
+    const std::vector<std::vector<simvm::ResourceVector>>& starts,
     const AllocationObjective& f, const EnumeratorOptions& options) {
   VDBA_CHECK(!starts.empty());
   SearchResult best;
   best.objective = std::numeric_limits<double>::infinity();
 
   for (const auto& start : starts) {
-    std::vector<simvm::VmResources> current = start;
+    std::vector<simvm::ResourceVector> current = start;
+    VDBA_CHECK(!current.empty());
+    const int dims = current.front().dims();
     double current_obj = f(current);
     ++best.evaluations;
     bool improved = true;
@@ -101,27 +116,21 @@ SearchResult LocalSearch(
     while (improved && guard++ < options.max_iterations) {
       improved = false;
       const int n = static_cast<int>(current.size());
-      for (int dim = 0; dim < 2; ++dim) {
-        if (dim == 0 && !options.allocate_cpu) continue;
-        if (dim == 1 && !options.allocate_memory) continue;
+      for (int dim = 0; dim < dims; ++dim) {
+        if (!options.Allocates(dim)) continue;
         for (int from = 0; from < n; ++from) {
           for (int to = 0; to < n; ++to) {
             if (from == to) continue;
-            auto get = [&](int i) {
-              return dim == 0 ? current[static_cast<size_t>(i)].cpu_share
-                              : current[static_cast<size_t>(i)].mem_share;
-            };
-            auto set = [&](int i, double v) {
-              if (dim == 0) {
-                current[static_cast<size_t>(i)].cpu_share = v;
-              } else {
-                current[static_cast<size_t>(i)].mem_share = v;
-              }
-            };
-            if (get(from) - options.delta < options.min_share - 1e-9) continue;
-            if (get(to) + options.delta > 1.0 + 1e-9) continue;
-            set(from, get(from) - options.delta);
-            set(to, std::min(1.0, get(to) + options.delta));
+            simvm::ResourceVector& r_from = current[static_cast<size_t>(from)];
+            simvm::ResourceVector& r_to = current[static_cast<size_t>(to)];
+            if (!CanLower(r_from, dim, options.delta, options.min_share)) {
+              continue;
+            }
+            if (!CanRaise(r_to, dim, options.delta)) continue;
+            const simvm::ResourceVector save_from = r_from;
+            const simvm::ResourceVector save_to = r_to;
+            r_from = Lowered(r_from, dim, options.delta);
+            r_to = Raised(r_to, dim, options.delta);
             double obj = f(current);
             ++best.evaluations;
             if (obj + 1e-12 < current_obj) {
@@ -129,8 +138,8 @@ SearchResult LocalSearch(
               improved = true;
             } else {
               // Revert.
-              set(to, get(to) - options.delta);
-              set(from, get(from) + options.delta);
+              r_from = save_from;
+              r_to = save_to;
             }
           }
         }

@@ -6,7 +6,7 @@
 // (§7.6-7.7). The exhaustive enumerator works for small N; the local-search
 // optimizer extends the comparison to larger N (multi-start hill climbing
 // with the same delta moves), which EXPERIMENTS.md documents as the
-// stand-in for the paper's brute-force sweeps.
+// stand-in for the paper's brute-force sweeps. Both are dimension-generic.
 #ifndef VDBA_ADVISOR_EXHAUSTIVE_ENUMERATOR_H_
 #define VDBA_ADVISOR_EXHAUSTIVE_ENUMERATOR_H_
 
@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "advisor/greedy_enumerator.h"
-#include "simvm/vm.h"
+#include "simvm/resource_vector.h"
 #include "util/status.h"
 
 namespace vdba::advisor {
@@ -22,26 +22,28 @@ namespace vdba::advisor {
 /// Objective over a full allocation vector (total weighted cost; smaller is
 /// better). May be backed by estimates or by actual measurements.
 using AllocationObjective =
-    std::function<double(const std::vector<simvm::VmResources>&)>;
+    std::function<double(const std::vector<simvm::ResourceVector>&)>;
 
 /// Best allocation found plus its objective value.
 struct SearchResult {
-  std::vector<simvm::VmResources> allocations;
+  std::vector<simvm::ResourceVector> allocations;
   double objective = 0.0;
   long evaluations = 0;
 };
 
 /// Enumerates every grid allocation (step = options.delta, shares >=
-/// options.min_share, sums <= 1 per resource) for N tenants and returns the
-/// minimum. Exponential in N; rejects N > 4.
+/// options.min_share, sums <= 1 per resource) for N tenants over `dims`
+/// resource dimensions and returns the minimum. Exponential in N * dims;
+/// rejects N > 4.
 StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
-                                        const EnumeratorOptions& options);
+                                        const EnumeratorOptions& options,
+                                        int dims = 2);
 
 /// Multi-start hill climbing with single-delta moves (the same move set as
 /// the greedy enumerator) from `starts`; returns the best local optimum.
-SearchResult LocalSearch(const std::vector<std::vector<simvm::VmResources>>& starts,
-                         const AllocationObjective& f,
-                         const EnumeratorOptions& options);
+SearchResult LocalSearch(
+    const std::vector<std::vector<simvm::ResourceVector>>& starts,
+    const AllocationObjective& f, const EnumeratorOptions& options);
 
 }  // namespace vdba::advisor
 

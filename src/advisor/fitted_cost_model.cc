@@ -10,17 +10,25 @@ namespace vdba::advisor {
 
 namespace {
 
-std::vector<double> ToShares(const simvm::VmResources& r) {
-  return {r.cpu_share, r.mem_share};
+bool AnyNegativeAlpha(const HyperbolicModel& m) {
+  for (double a : m.alphas) {
+    if (a < 0.0) return true;
+  }
+  return false;
 }
 
-/// Tiered hyperbolic fit: full (cpu+mem), cpu-only, mem-only, constant.
+void ClampNegativeAlphas(HyperbolicModel* m) {
+  for (double& a : m->alphas) a = std::max(a, 0.0);
+}
+
+/// Tiered hyperbolic fit: all dimensions, then each single dimension in
+/// index order, then constant.
 HyperbolicModel FitTiered(const std::vector<std::vector<double>>& allocations,
-                          const std::vector<double>& costs) {
+                          const std::vector<double>& costs, int dims) {
   auto full = FitHyperbolic(allocations, costs);
   if (full.ok()) return std::move(full.value());
 
-  for (int keep = 0; keep < 2; ++keep) {
+  for (int keep = 0; keep < dims; ++keep) {
     std::vector<std::vector<double>> one_dim;
     one_dim.reserve(allocations.size());
     for (const auto& a : allocations) {
@@ -29,14 +37,14 @@ HyperbolicModel FitTiered(const std::vector<std::vector<double>>& allocations,
     auto fit = FitHyperbolic(one_dim, costs);
     if (fit.ok()) {
       HyperbolicModel m;
-      m.alphas = {0.0, 0.0};
+      m.alphas.assign(static_cast<size_t>(dims), 0.0);
       m.alphas[static_cast<size_t>(keep)] = fit->alphas[0];
       m.beta = fit->beta;
       return m;
     }
   }
   HyperbolicModel m;
-  m.alphas = {0.0, 0.0};
+  m.alphas.assign(static_cast<size_t>(dims), 0.0);
   m.beta = Mean(costs);
   return m;
 }
@@ -46,6 +54,7 @@ HyperbolicModel FitTiered(const std::vector<std::vector<double>>& allocations,
 FittedCostModel FittedCostModel::FromObservations(
     const std::vector<WhatIfObservation>& observations) {
   VDBA_CHECK(!observations.empty());
+  const int dims = observations.front().allocation.dims();
 
   // Group observations by plan signature; each signature owns a memory
   // interval [min mem, max mem] at which it was seen.
@@ -57,10 +66,11 @@ FittedCostModel FittedCostModel::FromObservations(
   };
   std::map<std::string, Group> groups;
   for (const WhatIfObservation& o : observations) {
+    VDBA_CHECK_EQ(o.allocation.dims(), dims);
     Group& g = groups[o.plan_signature];
-    g.lo = std::min(g.lo, o.allocation.mem_share);
-    g.hi = std::max(g.hi, o.allocation.mem_share);
-    g.allocations.push_back(ToShares(o.allocation));
+    g.lo = std::min(g.lo, o.allocation.mem_share());
+    g.hi = std::max(g.hi, o.allocation.mem_share());
+    g.allocations.push_back(o.allocation.ToVector());
     g.costs.push_back(o.est_seconds);
   }
 
@@ -80,14 +90,14 @@ FittedCostModel FittedCostModel::FromObservations(
   std::vector<std::vector<double>> all_alloc;
   std::vector<double> all_costs;
   for (const WhatIfObservation& o : observations) {
-    all_alloc.push_back(ToShares(o.allocation));
+    all_alloc.push_back(o.allocation.ToVector());
     all_costs.push_back(o.est_seconds);
   }
-  HyperbolicModel global = FitTiered(all_alloc, all_costs);
+  HyperbolicModel global = FitTiered(all_alloc, all_costs, dims);
 
   FittedCostModel model;
+  model.dims_ = dims;
   double prev_hi = 0.0;
-  std::string label;
   int index = 0;
   for (Group* g : ordered) {
     PiecewiseSegment seg;
@@ -95,27 +105,24 @@ FittedCostModel FittedCostModel::FromObservations(
     seg.hi = std::max(g->hi, seg.lo);
     prev_hi = seg.hi;
     seg.label = "plan-" + std::to_string(index++);
-    if (g->allocations.size() >= 4) {
-      seg.model = FitTiered(g->allocations, g->costs);
+    if (g->allocations.size() >= static_cast<size_t>(dims) + 2) {
+      seg.model = FitTiered(g->allocations, g->costs, dims);
     } else {
       seg.model = global;
     }
     // A fit with a negative resource coefficient (possible on skewed
     // samples) would tell the enumerator that taking resources away helps;
     // clamp to the global model in that case.
-    if (seg.model.alphas[0] < 0.0 || seg.model.alphas[1] < 0.0) {
-      seg.model = global;
-    }
-    if (seg.model.alphas[0] < 0.0) seg.model.alphas[0] = 0.0;
-    if (seg.model.alphas[1] < 0.0) seg.model.alphas[1] = 0.0;
+    if (AnyNegativeAlpha(seg.model)) seg.model = global;
+    ClampNegativeAlphas(&seg.model);
     model.model_.AddSegment(std::move(seg));
   }
   model.actuals_.resize(model.model_.segments().size());
   return model;
 }
 
-double FittedCostModel::Eval(const simvm::VmResources& r) const {
-  double v = model_.Eval(ToShares(r));
+double FittedCostModel::Eval(const simvm::ResourceVector& r) const {
+  double v = model_.Eval(r.Expanded(dims_).ToVector());
   // Completion times are positive; a scaled/fitted model can dip negative
   // far outside its observed range.
   return v > 1e-6 ? v : 1e-6;
@@ -127,19 +134,19 @@ void FittedCostModel::ScaleSegmentAt(double mem_share, double factor) {
   model_.ScaleSegmentAt(mem_share, factor);
 }
 
-bool FittedCostModel::AddActualObservation(const simvm::VmResources& r,
+bool FittedCostModel::AddActualObservation(const simvm::ResourceVector& r,
                                            double actual_seconds) {
-  size_t seg = model_.ResolveGapPoint(r.mem_share, ToShares(r),
-                                      actual_seconds);
+  std::vector<double> shares = r.Expanded(dims_).ToVector();
+  size_t seg = model_.ResolveGapPoint(r.mem_share(), shares, actual_seconds);
   SegmentObservations& obs = actuals_[seg];
-  obs.allocations.push_back(ToShares(r));
+  obs.allocations.push_back(std::move(shares));
   obs.costs.push_back(actual_seconds);
-  if (obs.allocations.size() < 3) return false;
+  if (obs.allocations.size() < static_cast<size_t>(dims_) + 1) return false;
   // Enough actual observations: drop the optimizer-based coefficients and
   // fit the interval from measurements alone (§5.1 second iteration rule).
   auto fit = FitHyperbolic(obs.allocations, obs.costs);
   if (!fit.ok()) return false;
-  if (fit->alphas[0] < 0.0 || fit->alphas[1] < 0.0) return false;
+  if (AnyNegativeAlpha(fit.value())) return false;
   (*model_.mutable_segments())[seg].model = std::move(fit.value());
   return true;
 }
@@ -150,13 +157,14 @@ int FittedCostModel::ObservationsAt(double mem_share) const {
 }
 
 ModelCostEstimator::ModelCostEstimator(
-    std::vector<const FittedCostModel*> models, CostEstimator* fallback)
-    : models_(std::move(models)), fallback_(fallback) {
+    std::vector<const FittedCostModel*> models, CostEstimator* fallback,
+    int dims)
+    : models_(std::move(models)), fallback_(fallback), dims_(dims) {
   VDBA_CHECK(!models_.empty());
 }
 
 double ModelCostEstimator::EstimateSeconds(int tenant,
-                                           const simvm::VmResources& r) {
+                                           const simvm::ResourceVector& r) {
   const FittedCostModel* m = models_[static_cast<size_t>(tenant)];
   if (m != nullptr) return m->Eval(r);
   VDBA_CHECK(fallback_ != nullptr);

@@ -6,14 +6,16 @@
 // initialized by regression over the what-if estimates, then refined
 // against actual run times: scaled by Act/Est per iteration, and refit by
 // regression on actual observations alone once an interval has enough of
-// them (§5.1-5.2).
+// them (§5.1-5.2). The hyperbolic term runs over every resource dimension
+// the observations carry; memory stays the piecewise dimension (plans
+// change with memory, not with CPU or I/O-bandwidth shares).
 #ifndef VDBA_ADVISOR_FITTED_COST_MODEL_H_
 #define VDBA_ADVISOR_FITTED_COST_MODEL_H_
 
 #include <vector>
 
 #include "advisor/cost_estimator.h"
-#include "simvm/vm.h"
+#include "simvm/resource_vector.h"
 #include "util/piecewise.h"
 
 namespace vdba::advisor {
@@ -30,7 +32,7 @@ class FittedCostModel {
       const std::vector<WhatIfObservation>& observations);
 
   /// Model estimate at an allocation.
-  double Eval(const simvm::VmResources& r) const;
+  double Eval(const simvm::ResourceVector& r) const;
 
   /// First-iteration refinement: scale every interval by Act/Est (§5.1:
   /// optimizer bias is assumed consistent across intervals).
@@ -40,17 +42,21 @@ class FittedCostModel {
   void ScaleSegmentAt(double mem_share, double factor);
 
   /// Records an actual cost observation. When the covering interval has
-  /// accumulated >= 3 observations (enough for alpha_cpu, alpha_mem, beta),
-  /// the interval is refit from actual observations alone, discarding the
-  /// optimizer-derived coefficients; returns true if a refit happened.
-  /// Gap allocations (between known intervals) are assigned to the interval
-  /// whose estimate is closest to the observed cost (§5.1).
-  bool AddActualObservation(const simvm::VmResources& r,
+  /// accumulated >= dims + 1 observations (enough for the alphas and
+  /// beta), the interval is refit from actual observations alone,
+  /// discarding the optimizer-derived coefficients; returns true if a
+  /// refit happened. Gap allocations (between known intervals) are
+  /// assigned to the interval whose estimate is closest to the observed
+  /// cost (§5.1).
+  bool AddActualObservation(const simvm::ResourceVector& r,
                             double actual_seconds);
 
   /// Number of actual observations recorded in the interval covering
   /// `mem_share`.
   int ObservationsAt(double mem_share) const;
+
+  /// Resource dimensions of the observations the model was built from.
+  int num_dims() const { return dims_; }
 
   size_t num_segments() const { return model_.segments().size(); }
   const PiecewiseHyperbolicModel& piecewise() const { return model_; }
@@ -61,7 +67,8 @@ class FittedCostModel {
     std::vector<double> costs;
   };
 
-  PiecewiseHyperbolicModel model_{/*piecewise_dim=*/1};
+  int dims_ = 2;
+  PiecewiseHyperbolicModel model_{/*piecewise_dim=*/simvm::kMemDim};
   std::vector<SegmentObservations> actuals_;
 };
 
@@ -71,14 +78,16 @@ class FittedCostModel {
 class ModelCostEstimator : public CostEstimator {
  public:
   ModelCostEstimator(std::vector<const FittedCostModel*> models,
-                     CostEstimator* fallback = nullptr);
+                     CostEstimator* fallback = nullptr, int dims = 2);
 
-  double EstimateSeconds(int tenant, const simvm::VmResources& r) override;
+  double EstimateSeconds(int tenant, const simvm::ResourceVector& r) override;
   int num_tenants() const override { return static_cast<int>(models_.size()); }
+  int num_dims() const override { return dims_; }
 
  private:
   std::vector<const FittedCostModel*> models_;
   CostEstimator* fallback_;
+  int dims_;
 };
 
 }  // namespace vdba::advisor

@@ -9,45 +9,71 @@ namespace vdba::advisor {
 
 namespace {
 
-double GetShare(const simvm::VmResources& r, int dim) {
-  return dim == 0 ? r.cpu_share : r.mem_share;
-}
-
-void SetShare(simvm::VmResources* r, int dim, double v) {
-  if (dim == 0) {
-    r->cpu_share = v;
-  } else {
-    r->mem_share = v;
+/// Candidate moves of one tenant in one iteration: the +delta and -delta
+/// estimates for each dimension (infeasible directions keep NaN).
+struct TenantMoves {
+  std::array<double, simvm::kMaxResourceDims> up_cost;
+  std::array<double, simvm::kMaxResourceDims> down_cost;
+  TenantMoves() {
+    up_cost.fill(std::numeric_limits<double>::quiet_NaN());
+    down_cost.fill(std::numeric_limits<double>::quiet_NaN());
   }
+};
+
+/// Batch-estimates every feasible single-delta move of tenant `i` (the
+/// greedy inner loop's 2M estimates, fanned out by EstimateBatch).
+TenantMoves EvaluateMoves(CostEstimator* estimator, int i,
+                          const simvm::ResourceVector& r, int dims,
+                          const EnumeratorOptions& options) {
+  std::vector<simvm::ResourceVector> candidates;
+  std::vector<std::pair<int, bool>> slots;  // (dim, is_up)
+  candidates.reserve(static_cast<size_t>(2 * dims));
+  for (int dim = 0; dim < dims; ++dim) {
+    if (!options.Allocates(dim)) continue;
+    if (CanRaise(r, dim, options.delta)) {
+      candidates.push_back(Raised(r, dim, options.delta));
+      slots.emplace_back(dim, true);
+    }
+    if (CanLower(r, dim, options.delta, options.min_share)) {
+      candidates.push_back(Lowered(r, dim, options.delta));
+      slots.emplace_back(dim, false);
+    }
+  }
+  std::vector<double> ests = estimator->EstimateBatch(i, candidates);
+  TenantMoves moves;
+  for (size_t s = 0; s < slots.size(); ++s) {
+    auto [dim, is_up] = slots[s];
+    (is_up ? moves.up_cost : moves.down_cost)[static_cast<size_t>(dim)] =
+        ests[s];
+  }
+  return moves;
 }
 
 }  // namespace
 
-std::vector<simvm::VmResources> DefaultAllocation(int n) {
-  VDBA_CHECK_GT(n, 0);
-  double share = 1.0 / n;
-  return std::vector<simvm::VmResources>(
-      static_cast<size_t>(n), simvm::VmResources{share, share});
-}
-
 EnumerationResult GreedyEnumerator::Run(
     CostEstimator* estimator, const std::vector<QosSpec>& qos,
-    std::vector<simvm::VmResources> initial) const {
+    std::vector<simvm::ResourceVector> initial) const {
   const int n = estimator->num_tenants();
+  const int dims = estimator->num_dims();
   VDBA_CHECK_EQ(static_cast<size_t>(n), qos.size());
   const double delta = options_.delta;
   VDBA_CHECK_GT(delta, 0.0);
 
   EnumerationResult result;
-  result.allocations = initial.empty() ? DefaultAllocation(n)
+  result.allocations = initial.empty() ? DefaultAllocation(n, dims)
                                        : std::move(initial);
   VDBA_CHECK_EQ(result.allocations.size(), static_cast<size_t>(n));
+  // An initial allocation with fewer dimensions than the estimator models
+  // leaves the missing ones unallocated (share 1) rather than aborting in
+  // the move loops.
+  for (simvm::ResourceVector& r : result.allocations) r = r.Expanded(dims);
 
   // Full-allocation costs for degradation limits (Cost(W_i,[1,...,1])).
   std::vector<double> full_cost(static_cast<size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
     full_cost[static_cast<size_t>(i)] =
-        estimator->EstimateSeconds(i, simvm::VmResources{1.0, 1.0});
+        estimator->EstimateSeconds(i, simvm::ResourceVector::Full(dims));
   }
   auto satisfies_limit = [&](int i, double unweighted_cost) {
     const QosSpec& q = qos[static_cast<size_t>(i)];
@@ -64,17 +90,25 @@ EnumerationResult GreedyEnumerator::Run(
         estimator->EstimateSeconds(i, result.allocations[static_cast<size_t>(i)]);
   }
 
-  const int dims[] = {0, 1};
   bool done = false;
   while (!done && result.iterations < options_.max_iterations) {
     ++result.iterations;
+
+    // All candidate moves of this iteration, batched per tenant.
+    std::vector<TenantMoves> moves;
+    moves.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      moves.push_back(EvaluateMoves(estimator, i,
+                                    result.allocations[static_cast<size_t>(i)],
+                                    dims, options_));
+    }
+
     double max_diff = 0.0;
     int best_gain_tenant = -1, best_lose_tenant = -1, best_dim = -1;
     double best_gain_cost = 0.0, best_lose_cost = 0.0;
 
-    for (int dim : dims) {
-      if (dim == 0 && !options_.allocate_cpu) continue;
-      if (dim == 1 && !options_.allocate_memory) continue;
+    for (int dim = 0; dim < dims; ++dim) {
+      if (!options_.Allocates(dim)) continue;
 
       // Who benefits most from +delta of resource `dim`?
       double max_gain = 0.0;
@@ -86,28 +120,25 @@ EnumerationResult GreedyEnumerator::Run(
       double lose_cost = 0.0;
 
       for (int i = 0; i < n; ++i) {
-        const simvm::VmResources& r = result.allocations[static_cast<size_t>(i)];
-        const QosSpec& q = qos[static_cast<size_t>(i)];
-        double share = GetShare(r, dim);
+        const size_t si = static_cast<size_t>(i);
+        const QosSpec& q = qos[si];
+        const TenantMoves& m = moves[si];
 
-        if (share + delta <= 1.0 + 1e-9) {
-          simvm::VmResources up = r;
-          SetShare(&up, dim, std::min(1.0, share + delta));
-          double c_up = q.gain_factor * estimator->EstimateSeconds(i, up);
-          double gain = cost[static_cast<size_t>(i)] - c_up;
+        double up = m.up_cost[static_cast<size_t>(dim)];
+        if (!std::isnan(up)) {
+          double c_up = q.gain_factor * up;
+          double gain = cost[si] - c_up;
           if (gain > max_gain) {
             max_gain = gain;
             i_gain = i;
             gain_cost = c_up;
           }
         }
-        if (share - delta >= options_.min_share - 1e-9) {
-          simvm::VmResources down = r;
-          SetShare(&down, dim, share - delta);
-          double unweighted = estimator->EstimateSeconds(i, down);
-          double c_down = q.gain_factor * unweighted;
-          double loss = c_down - cost[static_cast<size_t>(i)];
-          if (loss < min_loss && satisfies_limit(i, unweighted)) {
+        double down = m.down_cost[static_cast<size_t>(dim)];
+        if (!std::isnan(down)) {
+          double c_down = q.gain_factor * down;
+          double loss = c_down - cost[si];
+          if (loss < min_loss && satisfies_limit(i, down)) {
             min_loss = loss;
             i_lose = i;
             lose_cost = c_down;
@@ -127,13 +158,12 @@ EnumerationResult GreedyEnumerator::Run(
     }
 
     if (max_diff > 1e-12 && best_dim >= 0) {
-      simvm::VmResources& gain_r =
+      simvm::ResourceVector& gain_r =
           result.allocations[static_cast<size_t>(best_gain_tenant)];
-      simvm::VmResources& lose_r =
+      simvm::ResourceVector& lose_r =
           result.allocations[static_cast<size_t>(best_lose_tenant)];
-      SetShare(&gain_r, best_dim,
-               std::min(1.0, GetShare(gain_r, best_dim) + delta));
-      SetShare(&lose_r, best_dim, GetShare(lose_r, best_dim) - delta);
+      gain_r = Raised(gain_r, best_dim, delta);
+      lose_r = Lowered(lose_r, best_dim, delta);
       cost[static_cast<size_t>(best_gain_tenant)] = best_gain_cost;
       cost[static_cast<size_t>(best_lose_tenant)] = best_lose_cost;
     } else {
@@ -170,23 +200,20 @@ EnumerationResult GreedyEnumerator::Run(
     // smallest loss.
     int best_dim = -1, best_donor = -1;
     double best_score = -std::numeric_limits<double>::infinity();
-    const simvm::VmResources& rv =
+    const simvm::ResourceVector& rv =
         result.allocations[static_cast<size_t>(violator)];
-    for (int dim : dims) {
-      if (dim == 0 && !options_.allocate_cpu) continue;
-      if (dim == 1 && !options_.allocate_memory) continue;
-      if (GetShare(rv, dim) + delta > 1.0 + 1e-9) continue;
-      simvm::VmResources up = rv;
-      SetShare(&up, dim, std::min(1.0, GetShare(rv, dim) + delta));
+    for (int dim = 0; dim < dims; ++dim) {
+      if (!options_.Allocates(dim)) continue;
+      if (!CanRaise(rv, dim, delta)) continue;
+      simvm::ResourceVector up = Raised(rv, dim, delta);
       double gain = estimator->EstimateSeconds(violator, rv) -
                     estimator->EstimateSeconds(violator, up);
       for (int i = 0; i < n; ++i) {
         if (i == violator) continue;
-        const simvm::VmResources& ri =
+        const simvm::ResourceVector& ri =
             result.allocations[static_cast<size_t>(i)];
-        if (GetShare(ri, dim) - delta < options_.min_share - 1e-9) continue;
-        simvm::VmResources down = ri;
-        SetShare(&down, dim, GetShare(ri, dim) - delta);
+        if (!CanLower(ri, dim, delta, options_.min_share)) continue;
+        simvm::ResourceVector down = Lowered(ri, dim, delta);
         double donor_cost = estimator->EstimateSeconds(i, down);
         if (!satisfies_limit(i, donor_cost)) continue;
         double loss = donor_cost - estimator->EstimateSeconds(i, ri);
@@ -198,13 +225,12 @@ EnumerationResult GreedyEnumerator::Run(
       }
     }
     if (best_dim < 0) break;  // no legal move; violations stand
-    simvm::VmResources& gain_r =
+    simvm::ResourceVector& gain_r =
         result.allocations[static_cast<size_t>(violator)];
-    simvm::VmResources& lose_r =
+    simvm::ResourceVector& lose_r =
         result.allocations[static_cast<size_t>(best_donor)];
-    SetShare(&gain_r, best_dim,
-             std::min(1.0, GetShare(gain_r, best_dim) + delta));
-    SetShare(&lose_r, best_dim, GetShare(lose_r, best_dim) - delta);
+    gain_r = Raised(gain_r, best_dim, delta);
+    lose_r = Lowered(lose_r, best_dim, delta);
     ++result.iterations;
   }
 

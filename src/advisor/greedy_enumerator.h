@@ -3,15 +3,19 @@
 // Starts from equal 1/N shares and repeatedly shifts a delta share of one
 // resource from the workload that suffers least to the workload that gains
 // most, subject to per-workload degradation limits; gain factors G_i weight
-// the gains/losses. Terminates when no beneficial move exists.
+// the gains/losses. Terminates when no beneficial move exists. The move
+// loop is dimension-generic: it runs over however many dimensions the
+// estimator's resource model carries.
 #ifndef VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
 #define VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
 
+#include <array>
 #include <vector>
 
+#include "advisor/allocation.h"
 #include "advisor/cost_estimator.h"
 #include "advisor/qos.h"
-#include "simvm/vm.h"
+#include "simvm/resource_vector.h"
 
 namespace vdba::advisor {
 
@@ -24,15 +28,23 @@ struct EnumeratorOptions {
   double min_share = 0.05;
   /// Hard cap on iterations (the paper observed convergence in <= 8).
   int max_iterations = 200;
-  /// Dimensions under the advisor's control. CPU-only experiments (§7.3,
-  /// §7.6) fix memory and set allocate_memory = false.
-  bool allocate_cpu = true;
-  bool allocate_memory = true;
+  /// Per-dimension enablement: allocate[d] == false pins dimension d at
+  /// its starting share. CPU-only experiments (§7.3, §7.6) pin memory.
+  /// Every dimension starts enabled, however many exist.
+  std::array<bool, simvm::kMaxResourceDims> allocate = [] {
+    std::array<bool, simvm::kMaxResourceDims> a{};
+    a.fill(true);
+    return a;
+  }();
+
+  bool Allocates(int dim) const {
+    return allocate[static_cast<size_t>(dim)];
+  }
 };
 
 /// Result of one enumeration run.
 struct EnumerationResult {
-  std::vector<simvm::VmResources> allocations;
+  std::vector<simvm::ResourceVector> allocations;
   /// Objective value: sum_i G_i * Cost(W_i, R_i), in estimated seconds.
   double objective = 0.0;
   /// Unweighted per-tenant estimated costs at the final allocation.
@@ -54,17 +66,13 @@ class GreedyEnumerator {
   /// default equal-shares starting point (pass empty for 1/N).
   EnumerationResult Run(CostEstimator* estimator,
                         const std::vector<QosSpec>& qos,
-                        std::vector<simvm::VmResources> initial = {}) const;
+                        std::vector<simvm::ResourceVector> initial = {}) const;
 
   const EnumeratorOptions& options() const { return options_; }
 
  private:
   EnumeratorOptions options_;
 };
-
-/// Equal 1/N shares for N tenants (the paper's default allocation, which
-/// every experiment uses as the performance baseline).
-std::vector<simvm::VmResources> DefaultAllocation(int n);
 
 }  // namespace vdba::advisor
 

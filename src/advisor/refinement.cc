@@ -6,13 +6,15 @@
 
 namespace vdba::advisor {
 
-bool SameAllocation(const std::vector<simvm::VmResources>& a,
-                    const std::vector<simvm::VmResources>& b,
+bool SameAllocation(const std::vector<simvm::ResourceVector>& a,
+                    const std::vector<simvm::ResourceVector>& b,
                     double tolerance) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (std::fabs(a[i].cpu_share - b[i].cpu_share) > tolerance) return false;
-    if (std::fabs(a[i].mem_share - b[i].mem_share) > tolerance) return false;
+    int dims = std::max(a[i].dims(), b[i].dims());
+    for (int d = 0; d < dims; ++d) {
+      if (std::fabs(a[i].share(d) - b[i].share(d)) > tolerance) return false;
+    }
   }
   return true;
 }
@@ -33,7 +35,7 @@ RefinementResult OnlineRefinement::Run() {
   // fitted models and their plan-change intervals.
   Recommendation rec = advisor_->Recommend();
   result.initial_allocations = rec.allocations;
-  std::vector<simvm::VmResources> alloc = rec.allocations;
+  std::vector<simvm::ResourceVector> alloc = rec.allocations;
 
   models_.clear();
   for (int i = 0; i < n; ++i) {
@@ -51,7 +53,7 @@ RefinementResult OnlineRefinement::Run() {
     // Deploy `alloc`, observe actual costs, refine models.
     for (int i = 0; i < n; ++i) {
       const Tenant& t = advisor_->estimator()->tenants()[static_cast<size_t>(i)];
-      const simvm::VmResources& r = alloc[static_cast<size_t>(i)];
+      const simvm::ResourceVector& r = alloc[static_cast<size_t>(i)];
       double est = models_[static_cast<size_t>(i)]->Eval(r);
       double act = hypervisor_->RunWorkload(*t.engine, t.workload, r);
       log.estimated_seconds.push_back(est);
@@ -66,7 +68,7 @@ RefinementResult OnlineRefinement::Run() {
           // every interval (§5.1).
           models_[static_cast<size_t>(i)]->ScaleAll(factor);
         } else {
-          models_[static_cast<size_t>(i)]->ScaleSegmentAt(r.mem_share,
+          models_[static_cast<size_t>(i)]->ScaleSegmentAt(r.mem_share(),
                                                           factor);
         }
       }
@@ -78,7 +80,8 @@ RefinementResult OnlineRefinement::Run() {
     std::vector<const FittedCostModel*> model_ptrs;
     model_ptrs.reserve(static_cast<size_t>(n));
     for (auto& m : models_) model_ptrs.push_back(m.get());
-    ModelCostEstimator estimator(model_ptrs);
+    ModelCostEstimator estimator(model_ptrs, nullptr,
+                                 advisor_->estimator()->num_dims());
     GreedyEnumerator greedy(advisor_->options().enumerator);
     EnumerationResult enumerated = greedy.Run(&estimator, qos);
 

@@ -26,15 +26,15 @@ struct RefinementOptions {
 
 /// Log of one refinement iteration.
 struct RefinementIteration {
-  std::vector<simvm::VmResources> allocations;  ///< Deployed this iteration.
+  std::vector<simvm::ResourceVector> allocations;  ///< Deployed this iteration.
   std::vector<double> estimated_seconds;        ///< Model estimates.
   std::vector<double> actual_seconds;           ///< Measured.
 };
 
 /// Final refinement outcome.
 struct RefinementResult {
-  std::vector<simvm::VmResources> initial_allocations;  ///< Pre-refinement.
-  std::vector<simvm::VmResources> final_allocations;
+  std::vector<simvm::ResourceVector> initial_allocations;  ///< Pre-refinement.
+  std::vector<simvm::ResourceVector> final_allocations;
   int iterations = 0;
   bool converged = false;
   std::vector<RefinementIteration> history;
@@ -67,8 +67,8 @@ class OnlineRefinement {
 
 /// True when two allocation vectors are equal within `tolerance` on every
 /// share (the refinement stop test).
-bool SameAllocation(const std::vector<simvm::VmResources>& a,
-                    const std::vector<simvm::VmResources>& b,
+bool SameAllocation(const std::vector<simvm::ResourceVector>& a,
+                    const std::vector<simvm::ResourceVector>& b,
                     double tolerance);
 
 }  // namespace vdba::advisor

@@ -14,7 +14,7 @@ using simdb::Catalog;
 using simdb::DbEngine;
 using simdb::EngineFlavor;
 using simdb::QuerySpec;
-using simvm::VmResources;
+using simvm::ResourceVector;
 
 namespace {
 
@@ -83,6 +83,14 @@ QuerySpec MakeQueryC() {
   return q;
 }
 
+/// The sweep vector for dimension `dim` at share `s`: every other
+/// dimension pinned (§4.4 parameter independence).
+ResourceVector SweepPoint(const ResourceVector& pinned, int dim, double s) {
+  ResourceVector vm = pinned.Expanded(dim + 1);
+  vm.set(dim, s);
+  return vm;
+}
+
 }  // namespace
 
 Calibrator::Calibrator(simvm::Hypervisor* hypervisor, EngineFlavor flavor,
@@ -98,7 +106,7 @@ Calibrator::Calibrator(simvm::Hypervisor* hypervisor, EngineFlavor flavor,
 }
 
 StatusOr<Calibrator::CpuSolveResult> Calibrator::SolveCpuSeconds(
-    const VmResources& vm) {
+    const ResourceVector& vm) {
   // Activity counts come from the optimizer's own cost formulas — the
   // calibrator solves Renormalize(Cost(Q,P,D)) = T_Q for the parameters
   // (§4.3 step 3). Plans for the calibration queries are allocation-
@@ -149,12 +157,12 @@ StatusOr<Calibrator::CpuSolveResult> Calibrator::SolveCpuSeconds(
   return r;
 }
 
-StatusOr<double> Calibrator::MeasureCpuParam(const VmResources& vm) {
+StatusOr<double> Calibrator::MeasureCpuParam(const ResourceVector& vm) {
   if (flavor_ == EngineFlavor::kDb2) {
     // DB2's cpuspeed needs no SQL: a stand-alone program times a known
     // instruction sequence (§4.3).
     double sec_per_instr = hypervisor_->MeasureCpuSecPerInstr(vm);
-    simulated_seconds_ += std::min(60.0, 20.0 / vm.cpu_share);
+    simulated_seconds_ += std::min(60.0, 20.0 / vm.cpu_share());
     return sec_per_instr * 1000.0;  // ms per instruction
   }
   auto solved = SolveCpuSeconds(vm);
@@ -163,7 +171,7 @@ StatusOr<double> Calibrator::MeasureCpuParam(const VmResources& vm) {
   return solved->sec_per_tuple / spp;  // cpu_tuple_cost
 }
 
-double Calibrator::MeasureIoParam(const VmResources& vm) {
+double Calibrator::MeasureIoParam(const ResourceVector& vm) {
   double spp = hypervisor_->MeasureSeqReadSecPerPage(vm);
   double rpp = hypervisor_->MeasureRandReadSecPerPage(vm);
   simulated_seconds_ += 30.0 + 45.0;
@@ -175,20 +183,47 @@ StatusOr<CalibrationModel> Calibrator::Calibrate(
     const CalibrationOptions& options) {
   VDBA_CHECK(!options.cpu_shares.empty());
 
-  // --- I/O parameters: one allocation suffices (§4.4, Figs. 7-8). ---
-  VmResources io_vm{options.cpu_share_for_io, options.mem_share_for_io};
-  double spp = hypervisor_->MeasureSeqReadSecPerPage(io_vm);
-  double rpp = hypervisor_->MeasureRandReadSecPerPage(io_vm);
+  // --- Device-speed parameters: one allocation suffices when I/O is not
+  // rationed (§4.4, Figs. 7-8). ---
+  double spp = hypervisor_->MeasureSeqReadSecPerPage(options.pinned);
+  double rpp = hypervisor_->MeasureRandReadSecPerPage(options.pinned);
   simulated_seconds_ += 30.0 + 45.0;
 
-  // --- CPU parameters: sweep CPU shares at one memory setting. ---
+  // --- Optional I/O-bandwidth sweep: fit the device-speed scaling in
+  // 1/r_io empirically instead of relying on the analytic 1/share law. ---
+  DimFit unit_fit, overhead_fit, transfer_fit;
+  bool have_io_sweep = options.io_shares.size() >= 2;
+  if (have_io_sweep) {
+    std::vector<double> inv_io, seq_secs, over_ms, rate_ms;
+    for (double s : options.io_shares) {
+      ResourceVector vm = SweepPoint(options.pinned, simvm::kIoDim, s);
+      double seq = hypervisor_->MeasureSeqReadSecPerPage(vm);
+      double rnd = hypervisor_->MeasureRandReadSecPerPage(vm);
+      simulated_seconds_ += 30.0 + 45.0;
+      inv_io.push_back(1.0 / s);
+      seq_secs.push_back(seq);
+      over_ms.push_back((rnd - seq) * 1000.0);
+      rate_ms.push_back(seq * 1000.0);
+    }
+    auto seq_f = FitLinear(inv_io, seq_secs);
+    auto over_f = FitLinear(inv_io, over_ms);
+    auto rate_f = FitLinear(inv_io, rate_ms);
+    if (!seq_f.ok()) return seq_f.status();
+    if (!over_f.ok()) return over_f.status();
+    if (!rate_f.ok()) return rate_f.status();
+    unit_fit = DimFit{simvm::kIoDim, *seq_f};
+    overhead_fit = DimFit{simvm::kIoDim, *over_f};
+    transfer_fit = DimFit{simvm::kIoDim, *rate_f};
+  }
+
+  // --- CPU parameters: sweep CPU shares with everything else pinned. ---
   std::vector<double> inv_shares;
   inv_shares.reserve(options.cpu_shares.size());
 
   if (flavor_ == EngineFlavor::kPostgres) {
     std::vector<double> tuple_costs, op_costs, index_costs;
     for (double s : options.cpu_shares) {
-      VmResources vm{s, options.mem_share_for_cpu};
+      ResourceVector vm = SweepPoint(options.pinned, simvm::kCpuDim, s);
       auto solved = SolveCpuSeconds(vm);
       if (!solved.ok()) return solved.status();
       inv_shares.push_back(1.0 / s);
@@ -202,15 +237,17 @@ StatusOr<CalibrationModel> Calibrator::Calibrate(
     if (!tuple_fit.ok()) return tuple_fit.status();
     if (!op_fit.ok()) return op_fit.status();
     if (!index_fit.ok()) return index_fit.status();
-    return CalibrationModel::MakePostgres(*tuple_fit, *op_fit, *index_fit,
-                                          rpp / spp, spp);
+    CalibrationModel model = CalibrationModel::MakePostgres(
+        *tuple_fit, *op_fit, *index_fit, rpp / spp, spp);
+    if (have_io_sweep) model.SetIoFits(unit_fit, overhead_fit, transfer_fit);
+    return model;
   }
 
   // DB2: cpuspeed via the instruction-timing program, then the timeron
   // renormalization regression over calibration queries (§4.2).
   std::vector<double> cpuspeeds;
   for (double s : options.cpu_shares) {
-    VmResources vm{s, options.mem_share_for_cpu};
+    ResourceVector vm = SweepPoint(options.pinned, simvm::kCpuDim, s);
     double sec_per_instr = hypervisor_->MeasureCpuSecPerInstr(vm);
     simulated_seconds_ += std::min(60.0, 20.0 / s);
     inv_shares.push_back(1.0 / s);
@@ -225,9 +262,9 @@ StatusOr<CalibrationModel> Calibrator::Calibrate(
 
   std::vector<double> timerons, seconds;
   for (double s : {0.3, 0.5, 1.0}) {
-    VmResources vm{s, options.mem_share_for_cpu};
+    ResourceVector vm = SweepPoint(options.pinned, simvm::kCpuDim, s);
     simdb::EngineParams params =
-        partial.ParamsFor(s, vm.MemoryMb(hypervisor_->machine()));
+        partial.ParamsFor(vm, hypervisor_->machine().VmMemoryMb(vm));
     for (const QuerySpec* q : {&query_a_, &query_b_, &query_c_}) {
       double est = engine_->WhatIfOptimize(*q, params).native_cost;
       simdb::Workload w;
@@ -240,8 +277,10 @@ StatusOr<CalibrationModel> Calibrator::Calibrate(
   }
   auto factor = FitRenormalizationFactor(timerons, seconds);
   if (!factor.ok()) return factor.status();
-  return CalibrationModel::MakeDb2(*cpuspeed_fit, (rpp - spp) * 1000.0,
-                                   spp * 1000.0, *factor);
+  CalibrationModel model = CalibrationModel::MakeDb2(
+      *cpuspeed_fit, (rpp - spp) * 1000.0, spp * 1000.0, *factor);
+  if (have_io_sweep) model.SetIoFits(unit_fit, overhead_fit, transfer_fit);
+  return model;
 }
 
 }  // namespace vdba::calib

@@ -7,8 +7,10 @@
 // selected resource allocations, runs calibration queries and stand-alone
 // measurement programs, and solves the cost-model equations for the
 // descriptive optimizer parameters. Per §4.4 it exploits parameter
-// independence: CPU parameters are calibrated at a single memory setting
-// and fitted linearly in 1/(cpu share); I/O parameters are measured once.
+// independence: each dimension's describing parameters are swept along
+// that dimension alone with every other dimension pinned — CPU parameters
+// are fitted linearly in 1/(cpu share); device-speed parameters are
+// measured once (and optionally swept along the I/O-bandwidth dimension).
 #ifndef VDBA_CALIB_CALIBRATION_H_
 #define VDBA_CALIB_CALIBRATION_H_
 
@@ -24,21 +26,16 @@ namespace vdba::calib {
 
 /// Knobs of the calibration procedure.
 struct CalibrationOptions {
-  /// CPU allocations at which CPU parameters are measured.
+  /// CPU allocations at which CPU-describing parameters are measured.
   std::vector<double> cpu_shares = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0};
-  /// Memory share used while calibrating CPU parameters (§4.4: CPU
-  /// parameters are memory-independent, so one setting suffices).
-  double mem_share_for_cpu = 0.5;
-  /// Allocation at which I/O parameters are measured (once).
-  double cpu_share_for_io = 0.5;
-  double mem_share_for_io = 0.5;
-};
-
-/// One calibration measurement (exposed for the Figs. 5-8 benches).
-struct CalibrationSample {
-  double cpu_share = 0.0;
-  double mem_share = 0.0;
-  double value = 0.0;
+  /// I/O-bandwidth allocations at which device-speed parameters are
+  /// measured. Empty (the default, and the paper's setup — I/O was never
+  /// rationed) measures once with I/O unallocated and scales analytically
+  /// by 1/r_io; two or more entries fit the scaling empirically.
+  std::vector<double> io_shares = {};
+  /// Shares of every dimension NOT being swept (§4.4: independence makes
+  /// one setting suffice).
+  simvm::ResourceVector pinned = {0.5, 0.5};
 };
 
 /// Runs the calibration procedure against a hypervisor.
@@ -54,13 +51,13 @@ class Calibrator {
   StatusOr<CalibrationModel> Calibrate(const CalibrationOptions& options);
 
   /// Point measurement of the flavor's primary CPU parameter at an
-  /// arbitrary (cpu, mem) allocation: PostgreSQL cpu_tuple_cost or DB2
-  /// cpuspeed (ms/instr). Used to reproduce Figs. 5-6.
-  StatusOr<double> MeasureCpuParam(const simvm::VmResources& vm);
+  /// arbitrary allocation: PostgreSQL cpu_tuple_cost or DB2 cpuspeed
+  /// (ms/instr). Used to reproduce Figs. 5-6.
+  StatusOr<double> MeasureCpuParam(const simvm::ResourceVector& vm);
 
   /// Point measurement of the flavor's primary I/O parameter:
   /// PostgreSQL random_page_cost or DB2 transfer_rate (ms). Figs. 7-8.
-  double MeasureIoParam(const simvm::VmResources& vm);
+  double MeasureIoParam(const simvm::ResourceVector& vm);
 
   /// Simulated wall-clock seconds consumed by calibration so far (the
   /// §7.2 cost accounting: measured query times plus the nominal runtimes
@@ -78,7 +75,7 @@ class Calibrator {
 
   /// Measures the calibration queries at `vm` and solves the cost
   /// equations for per-event CPU seconds (§4.3 steps 2-3).
-  StatusOr<CpuSolveResult> SolveCpuSeconds(const simvm::VmResources& vm);
+  StatusOr<CpuSolveResult> SolveCpuSeconds(const simvm::ResourceVector& vm);
 
   simvm::Hypervisor* hypervisor_;
   simdb::EngineFlavor flavor_;

@@ -4,22 +4,27 @@
 
 namespace vdba::calib {
 
-simdb::EngineParams CalibrationModel::ParamsFor(double cpu_share,
+simdb::EngineParams CalibrationModel::ParamsFor(const simvm::ResourceVector& r,
                                                 double vm_memory_mb) const {
-  VDBA_CHECK_GT(cpu_share, 0.0);
-  double inv = 1.0 / cpu_share;
+  VDBA_CHECK_GT(r.cpu_share(), 0.0);
+  VDBA_CHECK_GT(r.io_share(), 0.0);
   if (flavor_ == simdb::EngineFlavor::kPostgres) {
+    // CPU parameters are costs relative to one sequential page fetch; when
+    // the I/O-bandwidth share stretches the page fetch, the same CPU work
+    // costs proportionally fewer page units.
+    double unit_at_full = unit_seconds_.fit.Eval(1.0);
+    double page_scale = unit_at_full / unit_seconds_.Eval(r);
     simdb::PgParams p;
-    p.cpu_tuple_cost = cpu_tuple_fit_.Eval(inv);
-    p.cpu_operator_cost = cpu_operator_fit_.Eval(inv);
-    p.cpu_index_tuple_cost = cpu_index_tuple_fit_.Eval(inv);
-    p.random_page_cost = random_page_cost_;
+    p.cpu_tuple_cost = cpu_tuple_.Eval(r) * page_scale;
+    p.cpu_operator_cost = cpu_operator_.Eval(r) * page_scale;
+    p.cpu_index_tuple_cost = cpu_index_tuple_.Eval(r) * page_scale;
+    p.random_page_cost = random_page_cost_.Eval(r);
     return simdb::MemoryPolicy::ApplyPg(p, vm_memory_mb);
   }
   simdb::Db2Params p;
-  p.cpuspeed_ms_per_instr = cpuspeed_fit_.Eval(inv);
-  p.overhead_ms = overhead_ms_;
-  p.transfer_rate_ms = transfer_rate_ms_;
+  p.cpuspeed_ms_per_instr = cpuspeed_ms_.Eval(r);
+  p.overhead_ms = overhead_ms_.Eval(r);
+  p.transfer_rate_ms = transfer_rate_ms_.Eval(r);
   return simdb::MemoryPolicy::ApplyDb2(p, vm_memory_mb);
 }
 
@@ -30,11 +35,11 @@ CalibrationModel CalibrationModel::MakePostgres(LinearFit cpu_tuple,
                                                 double seconds_per_seq_page) {
   CalibrationModel m;
   m.flavor_ = simdb::EngineFlavor::kPostgres;
-  m.cpu_tuple_fit_ = cpu_tuple;
-  m.cpu_operator_fit_ = cpu_operator;
-  m.cpu_index_tuple_fit_ = cpu_index_tuple;
-  m.random_page_cost_ = random_page_cost;
-  m.seconds_per_native_unit_ = seconds_per_seq_page;
+  m.cpu_tuple_ = DimFit{simvm::kCpuDim, cpu_tuple};
+  m.cpu_operator_ = DimFit{simvm::kCpuDim, cpu_operator};
+  m.cpu_index_tuple_ = DimFit{simvm::kCpuDim, cpu_index_tuple};
+  m.random_page_cost_ = DimFit::Constant(random_page_cost);
+  m.unit_seconds_ = DimFit::Inverse(simvm::kIoDim, seconds_per_seq_page);
   return m;
 }
 
@@ -44,11 +49,21 @@ CalibrationModel CalibrationModel::MakeDb2(LinearFit cpuspeed_ms,
                                            double seconds_per_timeron) {
   CalibrationModel m;
   m.flavor_ = simdb::EngineFlavor::kDb2;
-  m.cpuspeed_fit_ = cpuspeed_ms;
-  m.overhead_ms_ = overhead_ms;
-  m.transfer_rate_ms_ = transfer_rate_ms;
-  m.seconds_per_native_unit_ = seconds_per_timeron;
+  m.cpuspeed_ms_ = DimFit{simvm::kCpuDim, cpuspeed_ms};
+  m.overhead_ms_ = DimFit::Inverse(simvm::kIoDim, overhead_ms);
+  m.transfer_rate_ms_ = DimFit::Inverse(simvm::kIoDim, transfer_rate_ms);
+  m.unit_seconds_ = DimFit::Constant(seconds_per_timeron);
   return m;
+}
+
+void CalibrationModel::SetIoFits(DimFit unit_seconds, DimFit overhead_ms,
+                                 DimFit transfer_rate_ms) {
+  if (flavor_ == simdb::EngineFlavor::kPostgres) {
+    unit_seconds_ = unit_seconds;
+  } else {
+    overhead_ms_ = overhead_ms;
+    transfer_rate_ms_ = transfer_rate_ms;
+  }
 }
 
 }  // namespace vdba::calib

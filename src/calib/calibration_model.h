@@ -4,36 +4,81 @@
 // (descriptive parameters via fitted calibration functions Cal_ik,
 // prescriptive parameters via the administrator's memory policy), and
 // renormalizes engine-native cost units to seconds (§4.2).
+//
+// Every calibrated parameter is a DimFit: a linear function of 1/r_d for
+// the single resource dimension d that drives it (§4.4's parameter
+// independence). CPU-describing parameters are driven by the CPU share
+// (paper Figs. 5-6); device-speed parameters by the I/O-bandwidth share
+// (constants in the paper, where I/O was never rationed — Figs. 7-8);
+// ratios like PostgreSQL's random_page_cost by no dimension at all.
 #ifndef VDBA_CALIB_CALIBRATION_MODEL_H_
 #define VDBA_CALIB_CALIBRATION_MODEL_H_
 
 #include "simdb/cost_params.h"
 #include "simdb/types.h"
+#include "simvm/resource_vector.h"
 #include "util/regression.h"
 
 namespace vdba::calib {
 
+/// Calibration function Cal_ik of one optimizer parameter: linear in
+/// 1/r[dim], or an allocation-independent constant when dim == kNoDim.
+struct DimFit {
+  /// kNoDim marks parameters no resource dimension drives.
+  static constexpr int kNoDim = -1;
+
+  int dim = kNoDim;
+  LinearFit fit;  ///< Evaluated at x = 1 / r.share(dim).
+
+  double Eval(const simvm::ResourceVector& r) const {
+    return fit.Eval(dim == kNoDim ? 1.0 : 1.0 / r.share(dim));
+  }
+
+  static DimFit Constant(double value) {
+    return DimFit{kNoDim, LinearFit{0.0, value, 1.0}};
+  }
+  /// value / r.share(dim) — the exact scaling of a device rate measured at
+  /// full share (a VM holding share s of the device sees it 1/s slower).
+  static DimFit Inverse(int dim, double value) {
+    return DimFit{dim, LinearFit{value, 0.0, 1.0}};
+  }
+};
+
 /// Calibrated R -> P mapping plus renormalization for one engine on one
-/// physical machine. CPU-describing parameters are linear in
-/// 1/(cpu share) (paper Figs. 5-6); I/O-describing parameters are
-/// allocation-independent constants (Figs. 7-8).
+/// physical machine.
 class CalibrationModel {
  public:
   CalibrationModel() = default;
 
   simdb::EngineFlavor flavor() const { return flavor_; }
 
-  /// Parameter vector for a VM with the given CPU share and memory size.
-  simdb::EngineParams ParamsFor(double cpu_share, double vm_memory_mb) const;
+  /// Parameter vector for a VM at allocation `r` with the given memory
+  /// size. Dimensions `r` does not carry are treated as unallocated
+  /// (share 1).
+  simdb::EngineParams ParamsFor(const simvm::ResourceVector& r,
+                                double vm_memory_mb) const;
 
-  /// Renormalizes an engine-native cost to seconds.
-  double ToSeconds(double native_cost) const {
-    return native_cost * seconds_per_native_unit_;
+  /// CPU-share-only convenience (I/O unallocated), matching the paper's
+  /// M = 2 experiments.
+  simdb::EngineParams ParamsFor(double cpu_share, double vm_memory_mb) const {
+    return ParamsFor(simvm::ResourceVector{cpu_share, 0.5}, vm_memory_mb);
   }
 
-  double seconds_per_native_unit() const { return seconds_per_native_unit_; }
+  /// Renormalizes an engine-native cost to seconds at allocation `r`.
+  /// PostgreSQL's native unit is one sequential page fetch, whose duration
+  /// grows as the I/O-bandwidth share shrinks; DB2 timerons are absolute.
+  double ToSeconds(double native_cost, const simvm::ResourceVector& r) const {
+    return native_cost * unit_seconds_.Eval(r);
+  }
 
-  // --- Builders (used by the Calibrator) ---
+  /// Renormalization with every dimension unallocated (seed behaviour).
+  double ToSeconds(double native_cost) const {
+    return ToSeconds(native_cost, simvm::ResourceVector::Full(2));
+  }
+
+  double seconds_per_native_unit() const { return unit_seconds_.fit.Eval(1.0); }
+
+  // --- Builders (used by the Calibrator; inputs measured at io share 1) ---
 
   static CalibrationModel MakePostgres(LinearFit cpu_tuple,
                                        LinearFit cpu_operator,
@@ -45,19 +90,26 @@ class CalibrationModel {
                                   double transfer_rate_ms,
                                   double seconds_per_timeron);
 
+  /// Replaces the analytic 1/r_io device-speed scaling with fits measured
+  /// by an I/O-bandwidth calibration sweep (Calibrate with io_shares set).
+  void SetIoFits(DimFit unit_seconds, DimFit overhead_ms,
+                 DimFit transfer_rate_ms);
+
  private:
   simdb::EngineFlavor flavor_ = simdb::EngineFlavor::kPostgres;
-  // PostgreSQL: fits over x = 1/cpu_share.
-  LinearFit cpu_tuple_fit_;
-  LinearFit cpu_operator_fit_;
-  LinearFit cpu_index_tuple_fit_;
-  double random_page_cost_ = 4.0;
-  // DB2: fit over x = 1/cpu_share.
-  LinearFit cpuspeed_fit_;
-  double overhead_ms_ = 6.0;
-  double transfer_rate_ms_ = 0.1;
-  // Renormalization factor (§4.2).
-  double seconds_per_native_unit_ = 1.0;
+  // PostgreSQL CPU parameters, in units of one sequential page fetch *at
+  // io share 1* (driven by kCpuDim).
+  DimFit cpu_tuple_;
+  DimFit cpu_operator_;
+  DimFit cpu_index_tuple_;
+  DimFit random_page_cost_ = DimFit::Constant(4.0);  // a ratio: io-invariant
+  // DB2 parameters (absolute ms units).
+  DimFit cpuspeed_ms_;
+  DimFit overhead_ms_ = DimFit::Constant(6.0);
+  DimFit transfer_rate_ms_ = DimFit::Constant(0.1);
+  // Seconds per engine-native cost unit (§4.2 renormalization). Driven by
+  // kIoDim for PostgreSQL (the unit is a page fetch), constant for DB2.
+  DimFit unit_seconds_ = DimFit::Constant(1.0);
 };
 
 }  // namespace vdba::calib

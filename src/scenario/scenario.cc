@@ -45,7 +45,7 @@ Testbed::Testbed(TestbedOptions options)
   // independent of the user databases).
   calib::Calibrator pg_cal(&hypervisor_, EngineFlavor::kPostgres,
                            pg_sf1_->profile());
-  auto pg_model = pg_cal.Calibrate(calib::CalibrationOptions());
+  auto pg_model = pg_cal.Calibrate(options_.calibration);
   VDBA_CHECK_MSG(pg_model.ok(), "PostgreSQL calibration failed: %s",
                  pg_model.status().ToString().c_str());
   pg_calibration_ = std::move(pg_model.value());
@@ -53,7 +53,7 @@ Testbed::Testbed(TestbedOptions options)
 
   calib::Calibrator db2_cal(&hypervisor_, EngineFlavor::kDb2,
                             db2_sf1_->profile());
-  auto db2_model = db2_cal.Calibrate(calib::CalibrationOptions());
+  auto db2_model = db2_cal.Calibrate(options_.calibration);
   VDBA_CHECK_MSG(db2_model.ok(), "DB2 calibration failed: %s",
                  db2_model.status().ToString().c_str());
   db2_calibration_ = std::move(db2_model.value());
@@ -74,13 +74,13 @@ advisor::Tenant Testbed::MakeTenant(const simdb::DbEngine& engine,
 }
 
 double Testbed::TrueSeconds(const advisor::Tenant& tenant,
-                            const simvm::VmResources& r) const {
+                            const simvm::ResourceVector& r) const {
   return hypervisor_.TrueWorkloadSeconds(*tenant.engine, tenant.workload, r);
 }
 
 double Testbed::TrueTotalSeconds(
     const std::vector<advisor::Tenant>& tenants,
-    const std::vector<simvm::VmResources>& alloc) const {
+    const std::vector<simvm::ResourceVector>& alloc) const {
   VDBA_CHECK_EQ(tenants.size(), alloc.size());
   double total = 0.0;
   for (size_t i = 0; i < tenants.size(); ++i) {
@@ -91,21 +91,22 @@ double Testbed::TrueTotalSeconds(
 
 double Testbed::ActualImprovement(
     const std::vector<advisor::Tenant>& tenants,
-    const std::vector<simvm::VmResources>& alloc) const {
-  std::vector<simvm::VmResources> def =
-      advisor::DefaultAllocation(static_cast<int>(tenants.size()));
+    const std::vector<simvm::ResourceVector>& alloc) const {
+  std::vector<simvm::ResourceVector> def =
+      advisor::DefaultAllocation(static_cast<int>(tenants.size()),
+                                 machine().resources->dims());
   double t_def = TrueTotalSeconds(tenants, def);
   double t_alloc = TrueTotalSeconds(tenants, alloc);
   return t_def > 0.0 ? (t_def - t_alloc) / t_def : 0.0;
 }
 
 simdb::RuntimeEnv Testbed::FullEnv() const {
-  return hypervisor_.MakeEnv(simvm::VmResources{1.0, 1.0});
+  return hypervisor_.MakeEnv(simvm::ResourceVector{1.0, 1.0});
 }
 
 simdb::RuntimeEnv Testbed::CpuUnitEnv() const {
   return hypervisor_.MakeEnv(
-      simvm::VmResources{1.0, CpuExperimentMemShare()});
+      simvm::ResourceVector{1.0, CpuExperimentMemShare()});
 }
 
 simdb::Workload Testbed::CpuIntensiveUnit(

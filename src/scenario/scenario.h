@@ -26,6 +26,9 @@ namespace vdba::scenario {
 struct TestbedOptions {
   simvm::PhysicalMachine machine = DefaultMachine();
   simvm::HypervisorOptions hypervisor;
+  /// Calibration procedure knobs (an I/O-bandwidth testbed adds io_shares
+  /// so device-speed parameters are swept along that dimension too).
+  calib::CalibrationOptions calibration;
   /// Skip building the (large) SF10 databases and engines.
   bool with_sf10 = true;
   /// Skip building TPC-C databases and engines.
@@ -83,16 +86,16 @@ class Testbed {
 
   /// Noise-free actual completion time of a tenant's workload at `r`.
   double TrueSeconds(const advisor::Tenant& tenant,
-                     const simvm::VmResources& r) const;
+                     const simvm::ResourceVector& r) const;
 
   /// Noise-free total time of all tenants at `alloc`.
   double TrueTotalSeconds(const std::vector<advisor::Tenant>& tenants,
-                          const std::vector<simvm::VmResources>& alloc) const;
+                          const std::vector<simvm::ResourceVector>& alloc) const;
 
   /// Relative improvement over the default 1/N allocation, measured with
   /// noise-free actual costs: (T_default - T_alloc) / T_default.
   double ActualImprovement(const std::vector<advisor::Tenant>& tenants,
-                           const std::vector<simvm::VmResources>& alloc) const;
+                           const std::vector<simvm::ResourceVector>& alloc) const;
 
   // --- Paper workload units (§7.3-7.4) ---
   // CPU units are sized so that one C unit and one I unit take the same

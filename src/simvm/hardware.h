@@ -2,6 +2,8 @@
 #ifndef VDBA_SIMVM_HARDWARE_H_
 #define VDBA_SIMVM_HARDWARE_H_
 
+#include "simvm/resource_vector.h"
+
 namespace vdba::simvm {
 
 /// Hardware capacities of the consolidation server. Defaults approximate
@@ -24,6 +26,19 @@ struct PhysicalMachine {
   double write_page_ms = 0.20;
   /// Milliseconds to persist 1 MB of sequential log.
   double log_ms_per_mb = 12.0;
+  /// Resource dimensions this machine rations among VMs. The advisor sizes
+  /// every enumeration loop and cache key from this.
+  const ResourceModel* resources = &ResourceModel::CpuMem();
+
+  /// Effective VM memory in MB under allocation `r`.
+  double VmMemoryMb(const ResourceVector& r) const {
+    return r.mem_share() * memory_mb;
+  }
+
+  /// Effective VM instruction rate under allocation `r`.
+  double VmCpuOpsPerSec(const ResourceVector& r) const {
+    return r.cpu_share() * cpu_ops_per_sec;
+  }
 };
 
 }  // namespace vdba::simvm

@@ -9,23 +9,24 @@ Hypervisor::Hypervisor(PhysicalMachine machine, HypervisorOptions options)
   VDBA_CHECK_GE(options_.io_contention_factor, 1.0);
 }
 
-simdb::RuntimeEnv Hypervisor::MakeEnv(const VmResources& vm) const {
+simdb::RuntimeEnv Hypervisor::MakeEnv(const ResourceVector& vm) const {
   VDBA_CHECK_MSG(vm.Valid(), "invalid VM shares %s", vm.ToString().c_str());
   simdb::RuntimeEnv env;
-  env.cpu_ops_per_sec = vm.CpuOpsPerSec(machine_);
-  env.seq_page_ms = machine_.seq_page_ms;
-  env.rand_page_ms = machine_.rand_page_ms;
-  env.write_page_ms = machine_.write_page_ms;
-  env.log_ms_per_mb = machine_.log_ms_per_mb;
+  env.cpu_ops_per_sec = machine_.VmCpuOpsPerSec(vm);
+  double io = vm.io_share();
+  env.seq_page_ms = machine_.seq_page_ms / io;
+  env.rand_page_ms = machine_.rand_page_ms / io;
+  env.write_page_ms = machine_.write_page_ms / io;
+  env.log_ms_per_mb = machine_.log_ms_per_mb / io;
   env.io_contention = options_.io_contention_factor;
   return env;
 }
 
 simdb::ExecutionBreakdown Hypervisor::TrueWorkloadBreakdown(
     const simdb::DbEngine& engine, const simdb::Workload& workload,
-    const VmResources& vm) const {
+    const ResourceVector& vm) const {
   simdb::RuntimeEnv env = MakeEnv(vm);
-  double mem_mb = vm.MemoryMb(machine_);
+  double mem_mb = machine_.VmMemoryMb(vm);
   simdb::ExecutionBreakdown total;
   for (const auto& stmt : workload.statements) {
     simdb::ExecutionBreakdown one =
@@ -38,27 +39,27 @@ simdb::ExecutionBreakdown Hypervisor::TrueWorkloadBreakdown(
 
 double Hypervisor::TrueWorkloadSeconds(const simdb::DbEngine& engine,
                                        const simdb::Workload& workload,
-                                       const VmResources& vm) const {
+                                       const ResourceVector& vm) const {
   return TrueWorkloadBreakdown(engine, workload, vm).total_seconds();
 }
 
 double Hypervisor::RunWorkload(const simdb::DbEngine& engine,
                                const simdb::Workload& workload,
-                               const VmResources& vm) {
+                               const ResourceVector& vm) {
   return TrueWorkloadSeconds(engine, workload, vm) * Noise();
 }
 
-double Hypervisor::MeasureSeqReadSecPerPage(const VmResources& vm) {
+double Hypervisor::MeasureSeqReadSecPerPage(const ResourceVector& vm) {
   simdb::RuntimeEnv env = MakeEnv(vm);
   return env.seq_page_ms * env.io_contention / 1000.0 * Noise();
 }
 
-double Hypervisor::MeasureRandReadSecPerPage(const VmResources& vm) {
+double Hypervisor::MeasureRandReadSecPerPage(const ResourceVector& vm) {
   simdb::RuntimeEnv env = MakeEnv(vm);
   return env.rand_page_ms * env.io_contention / 1000.0 * Noise();
 }
 
-double Hypervisor::MeasureCpuSecPerInstr(const VmResources& vm) {
+double Hypervisor::MeasureCpuSecPerInstr(const ResourceVector& vm) {
   simdb::RuntimeEnv env = MakeEnv(vm);
   return 1.0 / env.cpu_ops_per_sec * Noise();
 }

@@ -1,19 +1,20 @@
 // Xen-like hypervisor simulator.
 //
 // Provides the two mechanisms the paper's advisor needs from the
-// virtualization layer: enforcement of per-VM CPU/memory shares, and the
-// ability to run a workload inside a VM and measure its completion time.
-// Also simulates the paper's always-running "I/O blasting" VM, which
-// magnifies I/O contention during both calibration and measurement (§7.1),
-// and exposes the micro-measurement programs used by calibration
-// (sequential read, random read, CPU-speed probe).
+// virtualization layer: enforcement of per-VM resource shares (CPU,
+// memory, and — when the machine's ResourceModel carries it — I/O
+// bandwidth), and the ability to run a workload inside a VM and measure
+// its completion time. Also simulates the paper's always-running "I/O
+// blasting" VM, which magnifies I/O contention during both calibration and
+// measurement (§7.1), and exposes the micro-measurement programs used by
+// calibration (sequential read, random read, CPU-speed probe).
 #ifndef VDBA_SIMVM_HYPERVISOR_H_
 #define VDBA_SIMVM_HYPERVISOR_H_
 
 #include "simdb/engine.h"
 #include "simdb/workload.h"
 #include "simvm/hardware.h"
-#include "simvm/vm.h"
+#include "simvm/resource_vector.h"
 #include "util/rng.h"
 
 namespace vdba::simvm {
@@ -41,37 +42,39 @@ class Hypervisor {
   const PhysicalMachine& machine() const { return machine_; }
   const HypervisorOptions& options() const { return options_; }
 
-  /// Resolves VM shares into the runtime environment the engine sees.
-  simdb::RuntimeEnv MakeEnv(const VmResources& vm) const;
+  /// Resolves VM shares into the runtime environment the engine sees. An
+  /// I/O-bandwidth share r_io < 1 stretches every device time by 1/r_io
+  /// (the throttled VM sees a proportionally slower disk).
+  simdb::RuntimeEnv MakeEnv(const ResourceVector& vm) const;
 
   /// Runs `workload` on `engine` inside a VM with shares `vm`; returns the
   /// measured completion time in seconds (with measurement noise).
   /// This is the paper's "actual cost" observation Act_i.
   double RunWorkload(const simdb::DbEngine& engine,
-                     const simdb::Workload& workload, const VmResources& vm);
+                     const simdb::Workload& workload, const ResourceVector& vm);
 
   /// Noise-free workload time (ground truth for tests / optimal search).
   double TrueWorkloadSeconds(const simdb::DbEngine& engine,
                              const simdb::Workload& workload,
-                             const VmResources& vm) const;
+                             const ResourceVector& vm) const;
 
   /// CPU/I/O breakdown of a workload execution (noise-free).
   simdb::ExecutionBreakdown TrueWorkloadBreakdown(
       const simdb::DbEngine& engine, const simdb::Workload& workload,
-      const VmResources& vm) const;
+      const ResourceVector& vm) const;
 
   // --- Calibration micro-programs (§4.3: stand-alone measurement tools
   // run inside a VM) ---
 
   /// Measured seconds per sequential 8 KB page read in a VM.
-  double MeasureSeqReadSecPerPage(const VmResources& vm);
+  double MeasureSeqReadSecPerPage(const ResourceVector& vm);
 
   /// Measured seconds per random 8 KB page read in a VM.
-  double MeasureRandReadSecPerPage(const VmResources& vm);
+  double MeasureRandReadSecPerPage(const ResourceVector& vm);
 
   /// Measured seconds per abstract instruction in a VM (DB2's cpuspeed
   /// probe).
-  double MeasureCpuSecPerInstr(const VmResources& vm);
+  double MeasureCpuSecPerInstr(const ResourceVector& vm);
 
   /// Resets the noise stream (reproducible calibration sequences).
   void ReseedNoise(uint64_t seed) { noise_ = Rng(seed); }

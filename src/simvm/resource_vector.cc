@@ -1,0 +1,91 @@
+#include "simvm/resource_vector.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace vdba::simvm {
+
+ResourceVector::ResourceVector(std::initializer_list<double> shares) {
+  VDBA_CHECK_GT(shares.size(), 0u);
+  VDBA_CHECK_LE(shares.size(), static_cast<size_t>(kMaxResourceDims));
+  dims_ = static_cast<int>(shares.size());
+  size_t i = 0;
+  for (double s : shares) shares_[i++] = s;
+  for (; i < shares_.size(); ++i) shares_[i] = 1.0;
+}
+
+ResourceVector ResourceVector::Uniform(int dims, double share) {
+  VDBA_CHECK_GT(dims, 0);
+  VDBA_CHECK_LE(dims, kMaxResourceDims);
+  ResourceVector r;
+  r.dims_ = dims;
+  for (int d = 0; d < kMaxResourceDims; ++d) {
+    r.shares_[static_cast<size_t>(d)] = d < dims ? share : 1.0;
+  }
+  return r;
+}
+
+double ResourceVector::operator[](int d) const {
+  VDBA_CHECK_GE(d, 0);
+  VDBA_CHECK_LT(d, dims_);
+  return shares_[static_cast<size_t>(d)];
+}
+
+void ResourceVector::set(int d, double v) {
+  VDBA_CHECK_GE(d, 0);
+  VDBA_CHECK_LT(d, dims_);
+  shares_[static_cast<size_t>(d)] = v;
+}
+
+ResourceVector ResourceVector::Expanded(int dims) const {
+  VDBA_CHECK_LE(dims, kMaxResourceDims);
+  if (dims <= dims_) return *this;
+  ResourceVector r = *this;
+  r.dims_ = dims;  // padding slots already hold 1.0
+  return r;
+}
+
+bool ResourceVector::Valid() const {
+  for (int d = 0; d < dims_; ++d) {
+    double s = shares_[static_cast<size_t>(d)];
+    if (!(s > 0.0 && s <= 1.0)) return false;
+  }
+  return true;
+}
+
+std::string ResourceVector::ToString() const {
+  std::string out = "[";
+  char buf[32];
+  for (int d = 0; d < dims_; ++d) {
+    std::snprintf(buf, sizeof(buf), "%s%s=%.0f%%", d > 0 ? ", " : "",
+                  kResourceDims[static_cast<size_t>(d)].abbrev,
+                  shares_[static_cast<size_t>(d)] * 100.0);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+ResourceModel::ResourceModel(int dims) : dims_(dims) {
+  VDBA_CHECK_GT(dims, 0);
+  VDBA_CHECK_LE(dims, kMaxResourceDims);
+}
+
+const ResourceModel& ResourceModel::CpuMem() {
+  static const ResourceModel model(2);
+  return model;
+}
+
+const ResourceModel& ResourceModel::CpuMemIo() {
+  static const ResourceModel model(3);
+  return model;
+}
+
+const ResourceDimDesc& ResourceModel::dim(int d) const {
+  VDBA_CHECK_GE(d, 0);
+  VDBA_CHECK_LT(d, dims_);
+  return kResourceDims[static_cast<size_t>(d)];
+}
+
+}  // namespace vdba::simvm

@@ -1,0 +1,139 @@
+// ResourceVector: the paper's M-dimensional resource allocation
+// R_i = [r_i1,...,r_iM] (§3), plus the ResourceModel describing which
+// dimensions a machine exposes to the advisor.
+//
+// The seed instantiated M = 2 (CPU, memory) with a hard-coded pair; every
+// layer now works against this generic vector. Dimension indices are fixed
+// machine-wide constants so that calibration functions, cache keys, and
+// piecewise models agree on what each slot means.
+#ifndef VDBA_SIMVM_RESOURCE_VECTOR_H_
+#define VDBA_SIMVM_RESOURCE_VECTOR_H_
+
+#include <array>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vdba::simvm {
+
+/// Fixed dimension indices. A ResourceVector with fewer dimensions than an
+/// index treats the missing dimension as unallocated (share 1.0: the VM has
+/// full access to a resource nobody rations).
+inline constexpr int kCpuDim = 0;
+inline constexpr int kMemDim = 1;
+inline constexpr int kIoDim = 2;
+inline constexpr int kNetDim = 3;
+/// Inline capacity; raising this is the only change needed for more
+/// dimensions.
+inline constexpr int kMaxResourceDims = 4;
+
+/// Display metadata of one dimension, indexed by the constants above.
+struct ResourceDimDesc {
+  const char* name;
+  const char* abbrev;
+};
+inline constexpr std::array<ResourceDimDesc, kMaxResourceDims> kResourceDims{
+    {{"cpu", "cpu"},
+     {"memory", "mem"},
+     {"io-bandwidth", "io"},
+     {"network", "net"}}};
+
+/// Shares of the physical machine allocated to one VM: a fixed-capacity
+/// inline vector of per-dimension shares in (0, 1].
+class ResourceVector {
+ public:
+  /// Equal CPU/memory halves (the seed's historical default).
+  ResourceVector() = default;
+
+  /// One share per dimension, in kCpuDim.. order. {c, m} builds the
+  /// paper's M = 2 vector; {c, m, io} adds I/O bandwidth.
+  ResourceVector(std::initializer_list<double> shares);
+
+  /// All `dims` dimensions set to `share`.
+  static ResourceVector Uniform(int dims, double share);
+
+  /// All `dims` dimensions set to 1.0 (the whole machine).
+  static ResourceVector Full(int dims) { return Uniform(dims, 1.0); }
+
+  int dims() const { return dims_; }
+
+  /// Share of dimension `d`; d must be < dims().
+  double operator[](int d) const;
+  void set(int d, double v);
+
+  /// Share of dimension `d`, defaulting to 1.0 when the vector does not
+  /// carry that dimension (unallocated == full access).
+  double share(int d) const {
+    return d < dims_ ? shares_[static_cast<size_t>(d)] : 1.0;
+  }
+
+  // Named accessors (compatibility helpers for the historical M = 2 pair).
+  double cpu_share() const { return shares_[kCpuDim]; }
+  double mem_share() const { return shares_[kMemDim]; }
+  double io_share() const { return share(kIoDim); }
+
+  /// Copy with at least `dims` dimensions, padding new ones with 1.0.
+  ResourceVector Expanded(int dims) const;
+
+  /// All present shares in (0, 1].
+  bool Valid() const;
+
+  /// Shares as a plain vector (regression / piecewise-model input).
+  std::vector<double> ToVector() const {
+    return std::vector<double>(shares_.begin(), shares_.begin() + dims_);
+  }
+
+  /// e.g. "[cpu=50%, mem=25%, io=100%]".
+  std::string ToString() const;
+
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    if (a.dims_ != b.dims_) return false;
+    for (int d = 0; d < a.dims_; ++d) {
+      if (a.shares_[static_cast<size_t>(d)] !=
+          b.shares_[static_cast<size_t>(d)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  int dims_ = 2;
+  // Slots beyond dims_ stay 1.0 (unallocated) — Expanded() and share()
+  // rely on it, so the fill must track kMaxResourceDims.
+  std::array<double, kMaxResourceDims> shares_ = [] {
+    std::array<double, kMaxResourceDims> s{};
+    s.fill(1.0);
+    s[kCpuDim] = 0.5;
+    s[kMemDim] = 0.5;
+    return s;
+  }();
+};
+
+/// The set of resource dimensions a physical machine exposes to the
+/// advisor (the machine's M). Enumerators, estimators, and calibration all
+/// size their loops from this.
+class ResourceModel {
+ public:
+  explicit ResourceModel(int dims);
+
+  /// M = 2: CPU + memory (the paper's experiments).
+  static const ResourceModel& CpuMem();
+  /// M = 3: CPU + memory + I/O bandwidth.
+  static const ResourceModel& CpuMemIo();
+
+  int dims() const { return dims_; }
+  const ResourceDimDesc& dim(int d) const;
+
+  ResourceVector Uniform(double share) const {
+    return ResourceVector::Uniform(dims_, share);
+  }
+  ResourceVector Full() const { return ResourceVector::Full(dims_); }
+
+ private:
+  int dims_;
+};
+
+}  // namespace vdba::simvm
+
+#endif  // VDBA_SIMVM_RESOURCE_VECTOR_H_

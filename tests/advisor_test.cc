@@ -37,7 +37,7 @@ TEST_F(AdvisorTest, RecommendsMoreCpuForCpuIntensiveTenant) {
   VirtualizationDesignAdvisor adv(tb().machine(), tenants);
   Recommendation rec = adv.Recommend();
   EXPECT_TRUE(rec.converged);
-  EXPECT_GT(rec.allocations[0].cpu_share, rec.allocations[1].cpu_share);
+  EXPECT_GT(rec.allocations[0].cpu_share(), rec.allocations[1].cpu_share());
   EXPECT_GE(rec.estimated_improvement, 0.0);
 }
 
@@ -62,7 +62,7 @@ TEST_F(AdvisorTest, GreedyWithinFivePercentOfExhaustive) {
   VirtualizationDesignAdvisor adv(tb().machine(), tenants);
   Recommendation rec = adv.Recommend();
 
-  auto objective = [&](const std::vector<simvm::VmResources>& a) {
+  auto objective = [&](const std::vector<simvm::ResourceVector>& a) {
     return adv.estimator()->EstimateSeconds(0, a[0]) +
            adv.estimator()->EstimateSeconds(1, a[1]);
   };
@@ -96,8 +96,8 @@ TEST_F(AdvisorTest, IdenticalTenantsSplitEvenly) {
   VirtualizationDesignAdvisor adv(tb().machine(), tenants);
   Recommendation rec = adv.Recommend();
   for (const auto& r : rec.allocations) {
-    EXPECT_NEAR(r.cpu_share, 1.0 / 3.0, 0.06);
-    EXPECT_NEAR(r.mem_share, 1.0 / 3.0, 0.06);
+    EXPECT_NEAR(r.cpu_share(), 1.0 / 3.0, 0.06);
+    EXPECT_NEAR(r.mem_share(), 1.0 / 3.0, 0.06);
   }
 }
 
@@ -112,8 +112,8 @@ TEST_F(AdvisorTest, LongerWorkloadOfSameShapeGetsMoreResources) {
     };
     VirtualizationDesignAdvisor adv(tb().machine(), tenants);
     Recommendation rec = adv.Recommend();
-    EXPECT_GE(rec.allocations[1].cpu_share, prev_share - 1e-9) << k;
-    prev_share = rec.allocations[1].cpu_share;
+    EXPECT_GE(rec.allocations[1].cpu_share(), prev_share - 1e-9) << k;
+    prev_share = rec.allocations[1].cpu_share();
   }
   EXPECT_GT(prev_share, 0.5);
 }

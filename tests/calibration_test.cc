@@ -14,7 +14,7 @@ namespace {
 
 using simdb::EngineFlavor;
 using simvm::Hypervisor;
-using simvm::VmResources;
+using simvm::ResourceVector;
 
 simvm::HypervisorOptions QuietOptions() {
   simvm::HypervisorOptions opts;
@@ -52,12 +52,12 @@ TEST_F(CalibrationTest, PgRecoversTrueParameters) {
                         simdb::Catalog(workload::MakeTpchDatabase(1.0).catalog),
                         profile);
   for (double share : {0.25, 0.5, 1.0}) {
-    VmResources vm{share, 0.5};
+    ResourceVector vm{share, 0.5};
     simdb::RuntimeEnv env = hv_.MakeEnv(vm);
     auto truth = std::get<simdb::PgParams>(
-        probe.ActualParams(env, vm.MemoryMb(hv_.machine())));
+        probe.ActualParams(env, hv_.machine().VmMemoryMb(vm)));
     auto calibrated = std::get<simdb::PgParams>(
-        model->ParamsFor(share, vm.MemoryMb(hv_.machine())));
+        model->ParamsFor(share, hv_.machine().VmMemoryMb(vm)));
     EXPECT_NEAR(calibrated.cpu_tuple_cost / truth.cpu_tuple_cost, 1.0, 0.10)
         << share;
     EXPECT_NEAR(calibrated.cpu_operator_cost / truth.cpu_operator_cost, 1.0,
@@ -68,7 +68,7 @@ TEST_F(CalibrationTest, PgRecoversTrueParameters) {
         << share;
   }
   // Renormalization: seconds per sequential page fetch.
-  simdb::RuntimeEnv env = hv_.MakeEnv(VmResources{0.5, 0.5});
+  simdb::RuntimeEnv env = hv_.MakeEnv(ResourceVector{0.5, 0.5});
   EXPECT_NEAR(model->seconds_per_native_unit(),
               env.seq_page_ms * env.io_contention / 1000.0,
               model->seconds_per_native_unit() * 0.05);
@@ -98,7 +98,7 @@ TEST_F(CalibrationTest, CpuParamsLinearInInverseShare) {
   Calibrator cal(&hv_, EngineFlavor::kPostgres, profile);
   std::vector<double> inv, values;
   for (double share : {0.25, 0.5, 1.0}) {
-    auto v = cal.MeasureCpuParam(VmResources{share, 0.5});
+    auto v = cal.MeasureCpuParam(ResourceVector{share, 0.5});
     ASSERT_TRUE(v.ok());
     inv.push_back(1.0 / share);
     values.push_back(*v);
@@ -114,7 +114,7 @@ TEST_F(CalibrationTest, CpuParamIndependentOfMemory) {
   Calibrator cal(&hv_, EngineFlavor::kDb2, profile);
   std::vector<double> values;
   for (double mem : {0.2, 0.5, 0.8}) {
-    auto v = cal.MeasureCpuParam(VmResources{0.5, mem});
+    auto v = cal.MeasureCpuParam(ResourceVector{0.5, mem});
     ASSERT_TRUE(v.ok());
     values.push_back(*v);
   }
@@ -131,7 +131,7 @@ TEST_F(CalibrationTest, IoParamIndependentOfCpuAndMemory) {
   std::vector<double> values;
   for (double cpu : {0.2, 0.5, 1.0}) {
     for (double mem : {0.2, 0.8}) {
-      values.push_back(cal.MeasureIoParam(VmResources{cpu, mem}));
+      values.push_back(cal.MeasureIoParam(ResourceVector{cpu, mem}));
     }
   }
   double mean = 0.0;

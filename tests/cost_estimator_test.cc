@@ -49,7 +49,7 @@ TEST_F(CostEstimatorTest, EstimateTracksActualForDssWorkload) {
   // premise; errors are injected only for OLTP and DB2 sort memory).
   WhatIfCostEstimator est(tb_.machine(), tenants_);
   for (double c : {0.2, 0.5, 1.0}) {
-    simvm::VmResources r{c, 0.25};
+    simvm::ResourceVector r{c, 0.25};
     double estimate = est.EstimateSeconds(0, r);
     double actual = tb_.TrueSeconds(tenants_[0], r);
     EXPECT_NEAR(estimate / actual, 1.0, 0.25) << c;

@@ -30,7 +30,7 @@ class DynamicManagerTest : public ::testing::Test {
   std::unique_ptr<VirtualizationDesignAdvisor> MakeAdvisor(
       const simdb::Workload& w0, const simdb::Workload& w1) {
     AdvisorOptions opts;
-    opts.enumerator.allocate_memory = false;
+    opts.enumerator.allocate[simvm::kMemDim] = false;
     std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_mixed(), w0),
                                    tb().MakeTenant(tb().db2_mixed(), w1)};
     return std::make_unique<VirtualizationDesignAdvisor>(tb().machine(),
@@ -104,7 +104,7 @@ TEST_F(DynamicManagerTest, MajorChangeTriggersReallocation) {
   // TPC-C underestimation).
   mgr.EndPeriod({TpchUnits(20), Tpcc()});
   mgr.EndPeriod({TpchUnits(20), Tpcc()});
-  double tpch_cpu_before = mgr.current_allocations()[0].cpu_share;
+  double tpch_cpu_before = mgr.current_allocations()[0].cpu_share();
 
   // Swap: tenant 0 now runs TPC-C, tenant 1 runs TPC-H.
   PeriodResult swap = mgr.EndPeriod({Tpcc(), TpchUnits(20)});
@@ -112,8 +112,8 @@ TEST_F(DynamicManagerTest, MajorChangeTriggersReallocation) {
   EXPECT_TRUE(swap.major_change[1]);
   // One more period for the re-allocation to act on fresh models.
   mgr.EndPeriod({Tpcc(), TpchUnits(20)});
-  double tpch_cpu_after = mgr.current_allocations()[1].cpu_share;
-  EXPECT_GT(tpch_cpu_after, mgr.current_allocations()[0].cpu_share);
+  double tpch_cpu_after = mgr.current_allocations()[1].cpu_share();
+  EXPECT_GT(tpch_cpu_after, mgr.current_allocations()[0].cpu_share());
   EXPECT_GT(tpch_cpu_before, 0.5);
   EXPECT_GT(tpch_cpu_after, 0.5);
 }

@@ -5,13 +5,13 @@
 namespace vdba::advisor {
 namespace {
 
-double Objective(const std::vector<simvm::VmResources>& alloc,
+double Objective(const std::vector<simvm::ResourceVector>& alloc,
                  const std::vector<double>& alpha_cpu,
                  const std::vector<double>& alpha_mem) {
   double total = 0.0;
   for (size_t i = 0; i < alloc.size(); ++i) {
-    total += alpha_cpu[i] / alloc[i].cpu_share +
-             alpha_mem[i] / alloc[i].mem_share;
+    total += alpha_cpu[i] / alloc[i].cpu_share() +
+             alpha_mem[i] / alloc[i].mem_share();
   }
   return total;
 }
@@ -23,7 +23,7 @@ TEST(ExhaustiveTest, FindsGridOptimumForTwoTenants) {
       2, [&](const auto& a) { return Objective(a, ac, am); }, opts);
   ASSERT_TRUE(res.ok());
   // sqrt(36/4)=3 -> cpu ~ 0.75/0.25.
-  EXPECT_NEAR(res->allocations[0].cpu_share, 0.75, 0.051);
+  EXPECT_NEAR(res->allocations[0].cpu_share(), 0.75, 0.051);
   EXPECT_GT(res->evaluations, 100);
 }
 
@@ -35,7 +35,7 @@ TEST(ExhaustiveTest, UsesFullBudgetWhenBeneficial) {
   auto res = ExhaustiveSearch(
       2, [&](const auto& a) { return Objective(a, ac, am); }, opts);
   ASSERT_TRUE(res.ok());
-  EXPECT_NEAR(res->allocations[0].cpu_share + res->allocations[1].cpu_share,
+  EXPECT_NEAR(res->allocations[0].cpu_share() + res->allocations[1].cpu_share(),
               1.0, 1e-9);
 }
 
@@ -49,13 +49,13 @@ TEST(ExhaustiveTest, RejectsLargeN) {
 TEST(ExhaustiveTest, CpuOnlyModeFixesMemory) {
   std::vector<double> ac = {9, 1}, am = {1, 1};
   EnumeratorOptions opts;
-  opts.allocate_memory = false;
+  opts.allocate[simvm::kMemDim] = false;
   auto res = ExhaustiveSearch(
       2, [&](const auto& a) { return Objective(a, ac, am); }, opts);
   ASSERT_TRUE(res.ok());
-  EXPECT_NEAR(res->allocations[0].mem_share, 0.5, 1e-9);
-  EXPECT_NEAR(res->allocations[1].mem_share, 0.5, 1e-9);
-  EXPECT_GT(res->allocations[0].cpu_share, 0.6);
+  EXPECT_NEAR(res->allocations[0].mem_share(), 0.5, 1e-9);
+  EXPECT_NEAR(res->allocations[1].mem_share(), 0.5, 1e-9);
+  EXPECT_GT(res->allocations[0].cpu_share(), 0.6);
 }
 
 TEST(LocalSearchTest, MatchesExhaustiveOnConvexObjective) {
@@ -74,12 +74,12 @@ TEST(LocalSearchTest, MultiStartEscapesPoorStart) {
   EnumeratorOptions opts;
   auto objective = [&](const auto& a) { return Objective(a, ac, am); };
   // Deliberately bad start (starves the hungry tenant) plus the default.
-  std::vector<std::vector<simvm::VmResources>> starts = {
+  std::vector<std::vector<simvm::ResourceVector>> starts = {
       {{0.05, 0.5}, {0.95, 0.5}},
       DefaultAllocation(2),
   };
   auto res = LocalSearch(starts, objective, opts);
-  EXPECT_GT(res.allocations[0].cpu_share, 0.6);
+  EXPECT_GT(res.allocations[0].cpu_share(), 0.6);
 }
 
 TEST(LocalSearchTest, RespectsMinShare) {
@@ -88,8 +88,8 @@ TEST(LocalSearchTest, RespectsMinShare) {
   opts.min_share = 0.1;
   auto objective = [&](const auto& a) { return Objective(a, ac, am); };
   auto res = LocalSearch({DefaultAllocation(2)}, objective, opts);
-  EXPECT_GE(res.allocations[1].cpu_share, 0.1 - 1e-9);
-  EXPECT_GE(res.allocations[1].mem_share, 0.1 - 1e-9);
+  EXPECT_GE(res.allocations[1].cpu_share(), 0.1 - 1e-9);
+  EXPECT_GE(res.allocations[1].mem_share(), 0.1 - 1e-9);
 }
 
 }  // namespace

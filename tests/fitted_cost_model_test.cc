@@ -104,7 +104,7 @@ TEST(ModelCostEstimatorTest, DelegatesToModelsAndFallback) {
 
   class FixedEstimator : public CostEstimator {
    public:
-    double EstimateSeconds(int, const simvm::VmResources&) override {
+    double EstimateSeconds(int, const simvm::ResourceVector&) override {
       return 123.0;
     }
     int num_tenants() const override { return 2; }

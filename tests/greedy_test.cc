@@ -19,10 +19,10 @@ class SyntheticEstimator : public CostEstimator {
         alpha_mem_(std::move(alpha_mem)),
         beta_(std::move(beta)) {}
 
-  double EstimateSeconds(int tenant, const simvm::VmResources& r) override {
+  double EstimateSeconds(int tenant, const simvm::ResourceVector& r) override {
     ++calls_;
     size_t i = static_cast<size_t>(tenant);
-    return alpha_cpu_[i] / r.cpu_share + alpha_mem_[i] / r.mem_share +
+    return alpha_cpu_[i] / r.cpu_share() + alpha_mem_[i] / r.mem_share() +
            beta_[i];
   }
   int num_tenants() const override {
@@ -39,8 +39,8 @@ TEST(GreedyTest, DefaultAllocationIsEqualShares) {
   auto alloc = DefaultAllocation(4);
   ASSERT_EQ(alloc.size(), 4u);
   for (const auto& r : alloc) {
-    EXPECT_NEAR(r.cpu_share, 0.25, 1e-12);
-    EXPECT_NEAR(r.mem_share, 0.25, 1e-12);
+    EXPECT_NEAR(r.cpu_share(), 0.25, 1e-12);
+    EXPECT_NEAR(r.mem_share(), 0.25, 1e-12);
   }
 }
 
@@ -49,8 +49,8 @@ TEST(GreedyTest, SymmetricWorkloadsKeepEqualShares) {
   GreedyEnumerator greedy;
   auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
   EXPECT_TRUE(res.converged);
-  EXPECT_NEAR(res.allocations[0].cpu_share, 0.5, 1e-9);
-  EXPECT_NEAR(res.allocations[1].cpu_share, 0.5, 1e-9);
+  EXPECT_NEAR(res.allocations[0].cpu_share(), 0.5, 1e-9);
+  EXPECT_NEAR(res.allocations[1].cpu_share(), 0.5, 1e-9);
   EXPECT_EQ(res.iterations, 1);  // immediately no beneficial move
 }
 
@@ -59,10 +59,10 @@ TEST(GreedyTest, CpuHungryTenantGetsMoreCpu) {
   SyntheticEstimator est({40, 5}, {1, 1}, {0, 0});
   GreedyEnumerator greedy;
   auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
-  EXPECT_GT(res.allocations[0].cpu_share, 0.65);
-  EXPECT_LT(res.allocations[1].cpu_share, 0.35);
+  EXPECT_GT(res.allocations[0].cpu_share(), 0.65);
+  EXPECT_LT(res.allocations[1].cpu_share(), 0.35);
   // Shares remain a partition of the resource.
-  EXPECT_NEAR(res.allocations[0].cpu_share + res.allocations[1].cpu_share,
+  EXPECT_NEAR(res.allocations[0].cpu_share() + res.allocations[1].cpu_share(),
               1.0, 1e-9);
 }
 
@@ -73,10 +73,10 @@ TEST(GreedyTest, SharesSumToAtMostOnePerResource) {
                         {QosSpec{}, QosSpec{}, QosSpec{}, QosSpec{}});
   double cpu = 0.0, mem = 0.0;
   for (const auto& r : res.allocations) {
-    cpu += r.cpu_share;
-    mem += r.mem_share;
-    EXPECT_GE(r.cpu_share, greedy.options().min_share - 1e-9);
-    EXPECT_GE(r.mem_share, greedy.options().min_share - 1e-9);
+    cpu += r.cpu_share();
+    mem += r.mem_share();
+    EXPECT_GE(r.cpu_share(), greedy.options().min_share - 1e-9);
+    EXPECT_GE(r.mem_share(), greedy.options().min_share - 1e-9);
   }
   EXPECT_LE(cpu, 1.0 + 1e-9);
   EXPECT_LE(mem, 1.0 + 1e-9);
@@ -131,19 +131,19 @@ TEST(GreedyTest, GainFactorSkewsAllocation) {
   boosted.gain_factor = 5.0;
   GreedyEnumerator greedy;
   auto res = greedy.Run(&est, {boosted, QosSpec{}});
-  EXPECT_GT(res.allocations[0].cpu_share, res.allocations[1].cpu_share);
+  EXPECT_GT(res.allocations[0].cpu_share(), res.allocations[1].cpu_share());
 }
 
 TEST(GreedyTest, CpuOnlyModeLeavesMemoryUntouched) {
   SyntheticEstimator est({40, 5}, {30, 2}, {0, 0});
   EnumeratorOptions opts;
-  opts.allocate_memory = false;
+  opts.allocate[simvm::kMemDim] = false;
   GreedyEnumerator greedy(opts);
-  std::vector<simvm::VmResources> init = {{0.5, 0.3}, {0.5, 0.3}};
+  std::vector<simvm::ResourceVector> init = {{0.5, 0.3}, {0.5, 0.3}};
   auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}}, init);
-  EXPECT_NEAR(res.allocations[0].mem_share, 0.3, 1e-12);
-  EXPECT_NEAR(res.allocations[1].mem_share, 0.3, 1e-12);
-  EXPECT_NE(res.allocations[0].cpu_share, 0.5);
+  EXPECT_NEAR(res.allocations[0].mem_share(), 0.3, 1e-12);
+  EXPECT_NEAR(res.allocations[1].mem_share(), 0.3, 1e-12);
+  EXPECT_NE(res.allocations[0].cpu_share(), 0.5);
 }
 
 TEST(GreedyTest, ConvergesWithinIterationCap) {
@@ -166,7 +166,7 @@ TEST(GreedyTest, NearClosedFormOptimumForTwoTenants) {
   GreedyEnumerator greedy(opts);
   auto res = greedy.Run(&est, {QosSpec{}, QosSpec{}});
   double expected = std::sqrt(36.0 / 4.0) / (1.0 + std::sqrt(36.0 / 4.0));
-  EXPECT_NEAR(res.allocations[0].cpu_share, expected, 0.03);
+  EXPECT_NEAR(res.allocations[0].cpu_share(), expected, 0.03);
 }
 
 }  // namespace

@@ -18,26 +18,26 @@ class HypervisorTest : public ::testing::Test {
 
 TEST_F(HypervisorTest, EnvReflectsShares) {
   Hypervisor hv;
-  simdb::RuntimeEnv env = hv.MakeEnv(VmResources{0.25, 0.5});
+  simdb::RuntimeEnv env = hv.MakeEnv(ResourceVector{0.25, 0.5});
   EXPECT_NEAR(env.cpu_ops_per_sec, hv.machine().cpu_ops_per_sec * 0.25, 1.0);
   EXPECT_EQ(env.io_contention, hv.options().io_contention_factor);
 }
 
 TEST_F(HypervisorTest, InvalidSharesAreFatal) {
   Hypervisor hv;
-  EXPECT_DEATH((void)hv.MakeEnv(VmResources{0.0, 0.5}), "invalid");
-  EXPECT_DEATH((void)hv.MakeEnv(VmResources{0.5, 1.5}), "invalid");
+  EXPECT_DEATH((void)hv.MakeEnv(ResourceVector{0.0, 0.5}), "invalid");
+  EXPECT_DEATH((void)hv.MakeEnv(ResourceVector{0.5, 1.5}), "invalid");
 }
 
 TEST_F(HypervisorTest, VmResourceHelpers) {
   PhysicalMachine m;
   m.memory_mb = 8192;
   m.cpu_ops_per_sec = 2.4e9;
-  VmResources vm{0.25, 0.125};
-  EXPECT_NEAR(vm.MemoryMb(m), 1024.0, 1e-9);
-  EXPECT_NEAR(vm.CpuOpsPerSec(m), 0.6e9, 1.0);
+  ResourceVector vm{0.25, 0.125};
+  EXPECT_NEAR(m.VmMemoryMb(vm), 1024.0, 1e-9);
+  EXPECT_NEAR(m.VmCpuOpsPerSec(vm), 0.6e9, 1.0);
   EXPECT_TRUE(vm.Valid());
-  EXPECT_FALSE((VmResources{0.0, 0.5}).Valid());
+  EXPECT_FALSE((ResourceVector{0.0, 0.5}).Valid());
   EXPECT_NE(vm.ToString().find("cpu=25%"), std::string::npos);
 }
 
@@ -47,7 +47,7 @@ TEST_F(HypervisorTest, TrueSecondsMonotoneInCpuShare) {
   w.AddStatement(workload::TpchQuery(db_, 1), 1.0);
   double prev = 1e300;
   for (double c : {0.1, 0.2, 0.4, 0.8}) {
-    double t = hv.TrueWorkloadSeconds(engine_, w, VmResources{c, 0.0625});
+    double t = hv.TrueWorkloadSeconds(engine_, w, ResourceVector{c, 0.0625});
     EXPECT_LT(t, prev);
     prev = t;
   }
@@ -60,7 +60,7 @@ TEST_F(HypervisorTest, MeasurementNoiseIsSmallAndSeeded) {
   Hypervisor hv2(PhysicalMachine{}, opts);
   simdb::Workload w;
   w.AddStatement(workload::TpchQuery(db_, 6), 1.0);
-  VmResources vm{0.5, 0.25};
+  ResourceVector vm{0.5, 0.25};
   double a = hv1.RunWorkload(engine_, w, vm);
   double b = hv2.RunWorkload(engine_, w, vm);
   EXPECT_EQ(a, b);  // same seed, same stream
@@ -74,7 +74,7 @@ TEST_F(HypervisorTest, ZeroNoiseMatchesTruth) {
   Hypervisor hv(PhysicalMachine{}, opts);
   simdb::Workload w;
   w.AddStatement(workload::TpchQuery(db_, 6), 2.0);
-  VmResources vm{0.5, 0.25};
+  ResourceVector vm{0.5, 0.25};
   EXPECT_EQ(hv.RunWorkload(engine_, w, vm),
             hv.TrueWorkloadSeconds(engine_, w, vm));
 }
@@ -84,7 +84,7 @@ TEST_F(HypervisorTest, CalibrationProgramsMatchHardware) {
   opts.measurement_noise_sigma = 0.0;
   opts.io_contention_factor = 1.8;
   Hypervisor hv(PhysicalMachine{}, opts);
-  VmResources vm{0.5, 0.5};
+  ResourceVector vm{0.5, 0.5};
   EXPECT_NEAR(hv.MeasureSeqReadSecPerPage(vm),
               hv.machine().seq_page_ms * 1.8 / 1000.0, 1e-9);
   EXPECT_NEAR(hv.MeasureRandReadSecPerPage(vm),
@@ -98,7 +98,7 @@ TEST_F(HypervisorTest, WorkloadFrequencyScalesTime) {
   simdb::Workload w1, w3;
   w1.AddStatement(workload::TpchQuery(db_, 6), 1.0);
   w3.AddStatement(workload::TpchQuery(db_, 6), 3.0);
-  VmResources vm{0.5, 0.25};
+  ResourceVector vm{0.5, 0.25};
   EXPECT_NEAR(hv.TrueWorkloadSeconds(engine_, w3, vm),
               3.0 * hv.TrueWorkloadSeconds(engine_, w1, vm), 1e-9);
 }

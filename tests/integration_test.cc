@@ -33,8 +33,8 @@ TEST(IntegrationTest, MotivatingExampleShape) {
   VirtualizationDesignAdvisor adv(tb().machine(), tenants);
   Recommendation rec = adv.Recommend();
 
-  EXPECT_LT(rec.allocations[0].cpu_share, 0.35);  // paper: 15% to PG
-  EXPECT_GT(rec.allocations[1].cpu_share, 0.65);  // paper: 85% to DB2
+  EXPECT_LT(rec.allocations[0].cpu_share(), 0.35);  // paper: 15% to PG
+  EXPECT_GT(rec.allocations[1].cpu_share(), 0.65);  // paper: 85% to DB2
 
   auto def = advisor::DefaultAllocation(2);
   double pg_def = tb().TrueSeconds(tenants[0], def[0]);
@@ -68,12 +68,12 @@ TEST(IntegrationTest, RandomMixesNeverLoseToDefault) {
           tb().MakeTenant(tb().db2_sf1(), mixes[static_cast<size_t>(i)]));
     }
     advisor::AdvisorOptions aopts;
-    aopts.enumerator.allocate_memory = false;
+    aopts.enumerator.allocate[simvm::kMemDim] = false;
     VirtualizationDesignAdvisor adv(tb().machine(), tenants, aopts);
     advisor::GreedyEnumerator greedy(aopts.enumerator);
-    std::vector<simvm::VmResources> init(
+    std::vector<simvm::ResourceVector> init(
         static_cast<size_t>(n),
-        simvm::VmResources{1.0 / n, tb().CpuExperimentMemShare()});
+        simvm::ResourceVector{1.0 / n, tb().CpuExperimentMemShare()});
     auto res = greedy.Run(adv.estimator(), adv.QosList(), init);
     double t_init = tb().TrueTotalSeconds(tenants, init);
     double t_rec = tb().TrueTotalSeconds(tenants, res.allocations);
@@ -93,7 +93,7 @@ TEST(IntegrationTest, FullPipelineWithRefinementBeatsAdvisorAlone) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_tpcc(), tpcc),
                                  tb().MakeTenant(tb().db2_sf1(), tpch)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate_memory = false;
+  opts.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   advisor::OnlineRefinement refine(&adv, tb().hypervisor());
   advisor::RefinementResult res = refine.Run();
@@ -118,7 +118,7 @@ TEST(IntegrationTest, DynamicManagementSurvivesWorkloadSwap) {
       tb().MakeTenant(tb().db2_mixed(), tpch_units(0)),
       tb().MakeTenant(tb().db2_mixed(), tpcc)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate_memory = false;
+  opts.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   advisor::DynamicConfigurationManager mgr(&adv, tb().hypervisor());
   mgr.Initialize();

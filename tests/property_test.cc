@@ -31,7 +31,7 @@ TEST_P(QueryMonotonicityTest, ActualCostDecreasesWithCpu) {
   double prev = 1e300;
   for (double c : {0.1, 0.25, 0.5, 0.75, 1.0}) {
     double t = tb().hypervisor()->TrueWorkloadSeconds(
-        tb().db2_sf1(), w, simvm::VmResources{c, 0.25});
+        tb().db2_sf1(), w, simvm::ResourceVector{c, 0.25});
     EXPECT_LE(t, prev * 1.0001) << "cpu " << c;
     EXPECT_GT(t, 0.0);
     prev = t;
@@ -45,7 +45,7 @@ TEST_P(QueryMonotonicityTest, ActualCostNonIncreasingWithMemory) {
   double prev = 1e300;
   for (double m : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     double t = tb().hypervisor()->TrueWorkloadSeconds(
-        tb().db2_sf1(), w, simvm::VmResources{0.5, m});
+        tb().db2_sf1(), w, simvm::ResourceVector{0.5, m});
     EXPECT_LE(t, prev * 1.02) << "mem " << m;  // small plan-flip slack
     prev = t;
   }
@@ -59,7 +59,7 @@ TEST_P(QueryMonotonicityTest, EstimateTracksActualAcrossGrid) {
   WhatIfCostEstimator est(tb().machine(), {tenant});
   for (double c : {0.2, 0.6, 1.0}) {
     for (double m : {0.2, 0.6, 1.0}) {
-      simvm::VmResources r{c, m};
+      simvm::ResourceVector r{c, m};
       double e = est.EstimateSeconds(0, r);
       double a = tb().TrueSeconds(tenant, r);
       // DSS estimates land within ~35% of actuals everywhere (the paper's
@@ -111,10 +111,10 @@ TEST_P(GreedyInvariantTest, SharesConservedAndObjectiveNotWorse) {
 
   double cpu_sum = 0.0, mem_sum = 0.0;
   for (const auto& r : rec.allocations) {
-    EXPECT_GE(r.cpu_share, 0.05 - 1e-9);
-    EXPECT_GE(r.mem_share, 0.05 - 1e-9);
-    cpu_sum += r.cpu_share;
-    mem_sum += r.mem_share;
+    EXPECT_GE(r.cpu_share(), 0.05 - 1e-9);
+    EXPECT_GE(r.mem_share(), 0.05 - 1e-9);
+    cpu_sum += r.cpu_share();
+    mem_sum += r.mem_share();
   }
   EXPECT_LE(cpu_sum, 1.0 + 1e-9);
   EXPECT_LE(mem_sum, 1.0 + 1e-9);
@@ -149,18 +149,18 @@ TEST_P(TenantCountTest, RecommendationValidForNTenants) {
     tenants.push_back(tb().MakeTenant(tb().db2_sf1(), w));
   }
   AdvisorOptions opts;
-  opts.enumerator.allocate_memory = false;
+  opts.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   Recommendation rec = adv.Recommend();
   ASSERT_EQ(rec.allocations.size(), static_cast<size_t>(n));
   double cpu_sum = 0.0;
-  for (const auto& r : rec.allocations) cpu_sum += r.cpu_share;
+  for (const auto& r : rec.allocations) cpu_sum += r.cpu_share();
   EXPECT_LE(cpu_sum, 1.0 + 1e-9);
   EXPECT_GE(rec.estimated_improvement, -1e-9);
   // CPU-heavy tenants of equal size outrank their I/O-heavy neighbours.
   for (int i = 0; i + 1 < n; i += 2) {
-    double cpu_even = rec.allocations[static_cast<size_t>(i)].cpu_share;
-    double cpu_odd = rec.allocations[static_cast<size_t>(i + 1)].cpu_share;
+    double cpu_even = rec.allocations[static_cast<size_t>(i)].cpu_share();
+    double cpu_odd = rec.allocations[static_cast<size_t>(i + 1)].cpu_share();
     // The odd tenant is slightly larger, so allow equality.
     EXPECT_GE(cpu_even + 0.35, cpu_odd) << i;
   }
@@ -168,6 +168,60 @@ TEST_P(TenantCountTest, RecommendationValidForNTenants) {
 
 INSTANTIATE_TEST_SUITE_P(Counts, TenantCountTest,
                          ::testing::Values(2, 3, 4, 6, 8, 10));
+
+// ---------------------------------------------------------------------
+// Sweep 4: greedy invariants hold at M = 3 (the machine also rations I/O
+// bandwidth). Same mixes as sweep 2, one extra dimension in every loop.
+// ---------------------------------------------------------------------
+
+class MultiDimInvariantTest : public ::testing::TestWithParam<MixParam> {};
+
+TEST_P(MultiDimInvariantTest, SharesConservedPerDimensionAtM3) {
+  const MixParam& p = GetParam();
+  auto mix = [&](int c_units, int i_units) {
+    simdb::Workload w;
+    if (c_units > 0) {
+      w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18),
+                     2.0 * c_units);
+    }
+    if (i_units > 0) {
+      w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 21),
+                     2.0 * i_units);
+    }
+    return w;
+  };
+  std::vector<Tenant> tenants = {
+      tb().MakeTenant(tb().db2_sf1(), mix(p.c_units_w1, p.i_units_w1)),
+      tb().MakeTenant(tb().db2_sf1(), mix(p.c_units_w2, p.i_units_w2))};
+
+  // Same machine and calibration; the advisor now sees three dimensions.
+  simvm::PhysicalMachine m3 = tb().machine();
+  m3.resources = &simvm::ResourceModel::CpuMemIo();
+  VirtualizationDesignAdvisor adv(m3, tenants);
+  Recommendation rec = adv.Recommend();
+
+  ASSERT_EQ(rec.allocations.size(), 2u);
+  for (int d = 0; d < 3; ++d) {
+    double sum = 0.0;
+    for (const auto& r : rec.allocations) {
+      ASSERT_EQ(r.dims(), 3);
+      EXPECT_GE(r[d], 0.05 - 1e-9) << "dim " << d;
+      sum += r[d];
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9) << "dim " << d;
+  }
+
+  // The recommendation never loses to the M = 3 default on estimates.
+  double t_def = adv.EstimateTotalSeconds(DefaultAllocation(2, 3));
+  double t_rec = rec.estimated_seconds[0] + rec.estimated_seconds[1];
+  EXPECT_LE(t_rec, t_def + 1e-6);
+  EXPECT_GE(rec.estimated_improvement, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixGridM3, MultiDimInvariantTest,
+    ::testing::Values(MixParam{0, 10, 5, 5}, MixParam{5, 5, 5, 5},
+                      MixParam{10, 0, 0, 10}, MixParam{1, 0, 9, 0}));
 
 }  // namespace
 }  // namespace vdba::advisor

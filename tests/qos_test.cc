@@ -30,7 +30,7 @@ class QosTest : public ::testing::Test {
 
   /// Degradation of tenant i under `alloc` using the advisor's estimates.
   double Degradation(VirtualizationDesignAdvisor* adv, int i,
-                     const simvm::VmResources& r) {
+                     const simvm::ResourceVector& r) {
     double at = adv->estimator()->EstimateSeconds(i, r);
     double full = adv->estimator()->EstimateSeconds(i, {1.0, 1.0});
     return at / full;
@@ -49,7 +49,7 @@ TEST_F(QosTest, UnconstrainedIdenticalWorkloadsSplitEvenly) {
   VirtualizationDesignAdvisor adv(tb().machine(), tenants);
   Recommendation rec = adv.Recommend();
   for (const auto& r : rec.allocations) {
-    EXPECT_NEAR(r.cpu_share, 0.2, 0.051);
+    EXPECT_NEAR(r.cpu_share(), 0.2, 0.051);
   }
 }
 
@@ -113,8 +113,8 @@ TEST_F(QosTest, GainFactorOrderingMatchesAllocationOrdering) {
   auto tenants = FiveIdentical(qos);
   VirtualizationDesignAdvisor adv(tb().machine(), tenants);
   Recommendation rec = adv.Recommend();
-  EXPECT_GE(rec.allocations[0].cpu_share, rec.allocations[1].cpu_share);
-  EXPECT_GE(rec.allocations[1].cpu_share, rec.allocations[2].cpu_share);
+  EXPECT_GE(rec.allocations[0].cpu_share(), rec.allocations[1].cpu_share());
+  EXPECT_GE(rec.allocations[1].cpu_share(), rec.allocations[2].cpu_share());
 }
 
 TEST_F(QosTest, GainFactorCrossoverAsInFig20) {
@@ -127,11 +127,11 @@ TEST_F(QosTest, GainFactorCrossoverAsInFig20) {
     VirtualizationDesignAdvisor adv(tb().machine(), tenants);
     Recommendation rec = adv.Recommend();
     if (g9 < 4.0) {
-      EXPECT_LE(rec.allocations[0].cpu_share,
-                rec.allocations[1].cpu_share + 1e-9);
+      EXPECT_LE(rec.allocations[0].cpu_share(),
+                rec.allocations[1].cpu_share() + 1e-9);
     } else {
-      EXPECT_GE(rec.allocations[0].cpu_share,
-                rec.allocations[1].cpu_share - 1e-9);
+      EXPECT_GE(rec.allocations[0].cpu_share(),
+                rec.allocations[1].cpu_share() - 1e-9);
     }
   }
 }

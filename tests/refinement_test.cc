@@ -18,8 +18,8 @@ class RefinementTest : public ::testing::Test {
 };
 
 TEST(SameAllocationTest, ComparesWithinTolerance) {
-  std::vector<simvm::VmResources> a = {{0.5, 0.5}, {0.5, 0.5}};
-  std::vector<simvm::VmResources> b = {{0.501, 0.499}, {0.499, 0.501}};
+  std::vector<simvm::ResourceVector> a = {{0.5, 0.5}, {0.5, 0.5}};
+  std::vector<simvm::ResourceVector> b = {{0.501, 0.499}, {0.499, 0.501}};
   EXPECT_TRUE(SameAllocation(a, b, 0.01));
   EXPECT_FALSE(SameAllocation(a, b, 0.0001));
   EXPECT_FALSE(SameAllocation(a, {{0.5, 0.5}}, 0.01));
@@ -34,7 +34,7 @@ TEST_F(RefinementTest, AccurateModelsConvergeImmediately) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_sf1(), w1),
                                  tb().MakeTenant(tb().db2_sf1(), w2)};
   AdvisorOptions opts;
-  opts.enumerator.allocate_memory = false;
+  opts.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   OnlineRefinement refine(&adv, tb().hypervisor());
   RefinementResult res = refine.Run();
@@ -52,15 +52,15 @@ TEST_F(RefinementTest, CorrectsTpccCpuUnderestimation) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_tpcc(), tpcc),
                                  tb().MakeTenant(tb().db2_sf1(), tpch)};
   AdvisorOptions opts;
-  opts.enumerator.allocate_memory = false;
+  opts.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   OnlineRefinement refine(&adv, tb().hypervisor());
   RefinementResult res = refine.Run();
 
   // Refinement must give the TPC-C tenant more CPU than the initial
   // optimizer-driven recommendation did.
-  EXPECT_GT(res.final_allocations[0].cpu_share,
-            res.initial_allocations[0].cpu_share);
+  EXPECT_GT(res.final_allocations[0].cpu_share(),
+            res.initial_allocations[0].cpu_share());
   double pre = tb().ActualImprovement(tenants, res.initial_allocations);
   double post = tb().ActualImprovement(tenants, res.final_allocations);
   EXPECT_GT(post, pre);
@@ -78,7 +78,7 @@ TEST_F(RefinementTest, HistoryRecordsEstimatesAndActuals) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_tpcc(), tpcc),
                                  tb().MakeTenant(tb().db2_sf1(), tpch)};
   AdvisorOptions opts;
-  opts.enumerator.allocate_memory = false;
+  opts.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   OnlineRefinement refine(&adv, tb().hypervisor());
   RefinementResult res = refine.Run();

@@ -1,0 +1,125 @@
+#include "simvm/resource_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "advisor/allocation.h"
+#include "simvm/hardware.h"
+
+namespace vdba::simvm {
+namespace {
+
+TEST(ResourceVectorTest, DefaultIsEqualCpuMemHalves) {
+  ResourceVector r;
+  EXPECT_EQ(r.dims(), 2);
+  EXPECT_DOUBLE_EQ(r.cpu_share(), 0.5);
+  EXPECT_DOUBLE_EQ(r.mem_share(), 0.5);
+  EXPECT_TRUE(r.Valid());
+}
+
+TEST(ResourceVectorTest, InitializerListSetsDims) {
+  ResourceVector two{0.3, 0.7};
+  EXPECT_EQ(two.dims(), 2);
+  EXPECT_DOUBLE_EQ(two[kCpuDim], 0.3);
+  EXPECT_DOUBLE_EQ(two[kMemDim], 0.7);
+
+  ResourceVector three{0.2, 0.4, 0.6};
+  EXPECT_EQ(three.dims(), 3);
+  EXPECT_DOUBLE_EQ(three.io_share(), 0.6);
+}
+
+TEST(ResourceVectorTest, MissingDimensionsReadAsUnallocated) {
+  ResourceVector r{0.3, 0.7};
+  EXPECT_DOUBLE_EQ(r.io_share(), 1.0);
+  EXPECT_DOUBLE_EQ(r.share(kIoDim), 1.0);
+  EXPECT_DOUBLE_EQ(r.share(kNetDim), 1.0);
+}
+
+TEST(ResourceVectorTest, UniformAndFull) {
+  ResourceVector u = ResourceVector::Uniform(3, 0.25);
+  EXPECT_EQ(u.dims(), 3);
+  for (int d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(u[d], 0.25);
+  ResourceVector f = ResourceVector::Full(2);
+  EXPECT_DOUBLE_EQ(f.cpu_share(), 1.0);
+  EXPECT_DOUBLE_EQ(f.mem_share(), 1.0);
+}
+
+TEST(ResourceVectorTest, ExpandedPadsWithFullShares) {
+  ResourceVector r{0.3, 0.7};
+  ResourceVector e = r.Expanded(3);
+  EXPECT_EQ(e.dims(), 3);
+  EXPECT_DOUBLE_EQ(e.cpu_share(), 0.3);
+  EXPECT_DOUBLE_EQ(e[kIoDim], 1.0);
+  // Expanding to fewer dims is a no-op, never a truncation.
+  EXPECT_EQ(e.Expanded(2).dims(), 3);
+}
+
+TEST(ResourceVectorTest, ValidityRejectsZeroAndOverfull) {
+  EXPECT_FALSE((ResourceVector{0.0, 0.5}).Valid());
+  EXPECT_FALSE((ResourceVector{0.5, 1.5}).Valid());
+  EXPECT_FALSE((ResourceVector{0.5, 0.5, -0.1}).Valid());
+  EXPECT_TRUE((ResourceVector{0.5, 0.5, 0.1}).Valid());
+  // An invalid share in a dimension the vector does not carry is
+  // impossible by construction.
+  EXPECT_TRUE((ResourceVector{1.0, 1.0}).Valid());
+}
+
+TEST(ResourceVectorTest, SetAndIndexRoundTrip) {
+  ResourceVector r = ResourceVector::Uniform(3, 0.5);
+  r.set(kIoDim, 0.2);
+  EXPECT_DOUBLE_EQ(r[kIoDim], 0.2);
+  EXPECT_DOUBLE_EQ(r.io_share(), 0.2);
+}
+
+TEST(ResourceVectorTest, ToVectorMatchesDims) {
+  ResourceVector r{0.1, 0.2, 0.3};
+  std::vector<double> v = r.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.1);
+  EXPECT_DOUBLE_EQ(v[2], 0.3);
+}
+
+TEST(ResourceVectorTest, ToStringNamesEveryDimension) {
+  EXPECT_EQ((ResourceVector{0.5, 0.25}).ToString(), "[cpu=50%, mem=25%]");
+  EXPECT_EQ((ResourceVector{0.5, 0.25, 1.0}).ToString(),
+            "[cpu=50%, mem=25%, io=100%]");
+}
+
+TEST(ResourceVectorTest, EqualityComparesDimsAndShares) {
+  EXPECT_EQ((ResourceVector{0.5, 0.5}), (ResourceVector{0.5, 0.5}));
+  EXPECT_FALSE((ResourceVector{0.5, 0.5}) == (ResourceVector{0.5, 0.5, 1.0}));
+  EXPECT_FALSE((ResourceVector{0.5, 0.5}) == (ResourceVector{0.5, 0.25}));
+}
+
+TEST(ResourceModelTest, BuiltinModels) {
+  EXPECT_EQ(ResourceModel::CpuMem().dims(), 2);
+  EXPECT_EQ(ResourceModel::CpuMemIo().dims(), 3);
+  EXPECT_STREQ(ResourceModel::CpuMemIo().dim(kIoDim).abbrev, "io");
+  ResourceVector u = ResourceModel::CpuMemIo().Uniform(0.5);
+  EXPECT_EQ(u.dims(), 3);
+}
+
+TEST(ResourceModelTest, MachineDefaultsToCpuMem) {
+  PhysicalMachine m;
+  EXPECT_EQ(m.resources->dims(), 2);
+  ResourceVector r{0.25, 0.5};
+  EXPECT_DOUBLE_EQ(m.VmMemoryMb(r), 0.5 * m.memory_mb);
+  EXPECT_DOUBLE_EQ(m.VmCpuOpsPerSec(r), 0.25 * m.cpu_ops_per_sec);
+}
+
+TEST(AllocationHelpersTest, DefaultAllocationAndMoves) {
+  auto def = advisor::DefaultAllocation(4, 3);
+  ASSERT_EQ(def.size(), 4u);
+  EXPECT_EQ(def[0].dims(), 3);
+  EXPECT_DOUBLE_EQ(def[0].io_share(), 0.25);
+
+  ResourceVector r{0.5, 0.5, 0.5};
+  EXPECT_TRUE(advisor::CanRaise(r, kIoDim, 0.5));
+  EXPECT_FALSE(advisor::CanRaise(r, kIoDim, 0.51));
+  EXPECT_TRUE(advisor::CanLower(r, kCpuDim, 0.45, 0.05));
+  EXPECT_FALSE(advisor::CanLower(r, kCpuDim, 0.46, 0.05));
+  EXPECT_DOUBLE_EQ(advisor::Raised(r, kMemDim, 0.6)[kMemDim], 1.0);
+  EXPECT_DOUBLE_EQ(advisor::Lowered(r, kMemDim, 0.1)[kMemDim], 0.4);
+}
+
+}  // namespace
+}  // namespace vdba::simvm

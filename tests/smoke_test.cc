@@ -29,10 +29,10 @@ TEST(SmokeTest, TestbedToAdvisorToRecommendation) {
   ASSERT_EQ(rec.allocations.size(), tenants.size());
   ASSERT_EQ(rec.estimated_seconds.size(), tenants.size());
   double cpu_total = 0.0;
-  for (const simvm::VmResources& r : rec.allocations) {
-    EXPECT_GT(r.cpu_share, 0.0);
-    EXPECT_LE(r.cpu_share, 1.0);
-    cpu_total += r.cpu_share;
+  for (const simvm::ResourceVector& r : rec.allocations) {
+    EXPECT_GT(r.cpu_share(), 0.0);
+    EXPECT_LE(r.cpu_share(), 1.0);
+    cpu_total += r.cpu_share();
   }
   EXPECT_LE(cpu_total, 1.0 + 1e-9);
   for (double s : rec.estimated_seconds) EXPECT_GT(s, 0.0);

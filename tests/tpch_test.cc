@@ -67,7 +67,7 @@ class TpchCharacterTest : public ::testing::Test {
     w.AddStatement(TpchQuery(db_, qn), 1.0);
     // The paper's CPU-experiment VM: 512 MB, half the CPU.
     return hv.TrueWorkloadBreakdown(engine, w,
-                                    simvm::VmResources{0.5, 512.0 / 8192.0});
+                                    simvm::ResourceVector{0.5, 512.0 / 8192.0});
   }
 
   TpchDatabase db_;
@@ -106,7 +106,7 @@ TEST_F(TpchCharacterTest, Q18ModifiedTouchesLessData) {
   simdb::Workload plain, modified;
   plain.AddStatement(TpchQuery(db_, 18), 1.0);
   modified.AddStatement(TpchQuery18Modified(db_), 1.0);
-  simvm::VmResources vm{0.5, 512.0 / 8192.0};
+  simvm::ResourceVector vm{0.5, 512.0 / 8192.0};
   simdb::ExecutionBreakdown p = hv.TrueWorkloadBreakdown(pg_, plain, vm);
   simdb::ExecutionBreakdown m = hv.TrueWorkloadBreakdown(pg_, modified, vm);
   EXPECT_LT(m.io_seconds, p.io_seconds);
@@ -120,7 +120,7 @@ TEST_F(TpchCharacterTest, MemorySensitivityContrastQ7VsQ16) {
   auto time_at = [&](int qn, double mem_share) {
     simdb::Workload w;
     w.AddStatement(TpchQuery(sf10, qn), 1.0);
-    return hv.TrueWorkloadSeconds(db2, w, simvm::VmResources{0.5, mem_share});
+    return hv.TrueWorkloadSeconds(db2, w, simvm::ResourceVector{0.5, mem_share});
   };
   // Beyond ~50% memory Q16's working set is fully cached and extra
   // memory is wasted on it, while Q7 keeps improving.

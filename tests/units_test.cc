@@ -49,7 +49,7 @@ TEST(UnitsTest, PaperUnitsMatchAtFullCpu) {
   const simdb::DbEngine& db2 = tb.db2_sf1();
   simdb::Workload c = tb.CpuIntensiveUnit(db2, tb.tpch_sf1());
   simdb::Workload i = tb.CpuLazyUnit(db2, tb.tpch_sf1());
-  simvm::VmResources full{1.0, tb.CpuExperimentMemShare()};
+  simvm::ResourceVector full{1.0, tb.CpuExperimentMemShare()};
   double tc = tb.hypervisor()->TrueWorkloadSeconds(db2, c, full);
   double ti = tb.hypervisor()->TrueWorkloadSeconds(db2, i, full);
   EXPECT_NEAR(tc / ti, 1.0, 0.35);
@@ -60,7 +60,7 @@ TEST(UnitsTest, CpuUnitsDifferInCpuIntensity) {
   const simdb::DbEngine& db2 = tb.db2_sf1();
   simdb::Workload c = tb.CpuIntensiveUnit(db2, tb.tpch_sf1());
   simdb::Workload i = tb.CpuLazyUnit(db2, tb.tpch_sf1());
-  simvm::VmResources vm{0.5, tb.CpuExperimentMemShare()};
+  simvm::ResourceVector vm{0.5, tb.CpuExperimentMemShare()};
   auto bc = tb.hypervisor()->TrueWorkloadBreakdown(db2, c, vm);
   auto bi = tb.hypervisor()->TrueWorkloadBreakdown(db2, i, vm);
   double frac_c = bc.cpu_seconds / bc.total_seconds();
