@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json bench records.
+
+Compares a fresh bench run (``results_dir``, produced by bench/run_all.sh)
+against the checked-in snapshot in ``baseline_dir`` and exits non-zero when
+any gated metric regressed by more than the threshold (default 25%).
+
+The baseline defines the contract: every metric stored in a baseline file
+must exist in the fresh results and stay within the threshold. Direction is
+derived from the metric name:
+
+* higher-is-better: names containing ``speedup``, ``improvement``,
+  ``identical``, or ``wins`` (ratios and quality scores);
+* lower-is-better: names ending in ``_ms``, ``_seconds``, ``_sec``, or
+  containing ``latency`` (wall-clock style metrics).
+
+Anything else (counts, shares, candidates, ...) is reported informationally
+but never gates. Latency metrics where both sides sit under
+``--latency-floor-ms`` are skipped: absolute micro-timings are dominated by
+scheduler noise and by how the baseline host compares to the CI runner, so
+only latencies large enough to dwarf both gate by default. Ratio metrics
+(speedups) are machine-portable and always gate. When the committed
+baseline comes from the same machine class as CI, lower the floor to
+tighten the latency gate.
+
+Refreshing the snapshot after an intentional change::
+
+    bench/run_all.sh build bench_results
+    python3 bench/compare_bench.py bench_results bench/baseline --snapshot
+
+``--snapshot`` rewrites the baseline from the fresh results, keeping only
+gateable metrics (the volatile per-run ``wall_seconds`` is dropped).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HIGHER_BETTER_TOKENS = ("speedup", "improvement", "identical", "wins")
+# Matched as name *segments* so `sequential_ms_n16` gates like `foo_ms`.
+LOWER_BETTER_SEGMENTS = ("ms", "seconds", "sec", "latency")
+
+
+def is_latency(name: str) -> bool:
+    return any(seg in name.lower().split("_") for seg in LOWER_BETTER_SEGMENTS)
+
+
+def direction(name: str) -> str:
+    """'higher', 'lower', or 'none' (not gated)."""
+    lowered = name.lower()
+    if any(tok in lowered for tok in HIGHER_BETTER_TOKENS):
+        return "higher"
+    if is_latency(name):
+        return "lower"
+    return "none"
+
+
+def load_metrics(path: pathlib.Path) -> dict[str, float]:
+    with path.open() as fh:
+        record = json.load(fh)
+    metrics = record.get("metrics", {})
+    return {
+        name: value
+        for name, value in metrics.items()
+        if isinstance(value, (int, float)) and value is not True
+        and value is not False
+    }
+
+
+def snapshot(results_dir: pathlib.Path, baseline_dir: pathlib.Path) -> int:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for stale in baseline_dir.glob("BENCH_*.json"):
+        stale.unlink()
+    written = 0
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        gated = {
+            name: value
+            for name, value in load_metrics(path).items()
+            if direction(name) != "none"
+        }
+        if not gated:
+            continue
+        out = baseline_dir / path.name
+        out.write_text(
+            json.dumps({"artifact": path.stem, "metrics": gated},
+                       indent=2, sort_keys=True) + "\n"
+        )
+        written += 1
+    print(f"snapshot: wrote {written} baseline file(s) to {baseline_dir}")
+    return 0
+
+
+def compare(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
+            threshold: float, latency_floor_ms: float) -> int:
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    compared = 0
+    for base_path in baseline_files:
+        result_path = results_dir / base_path.name
+        if not result_path.exists():
+            failures.append(
+                f"{base_path.name}: missing from {results_dir} "
+                "(bench disappeared or failed before writing JSON)"
+            )
+            continue
+        base_metrics = load_metrics(base_path)
+        new_metrics = load_metrics(result_path)
+        for name, base_value in sorted(base_metrics.items()):
+            sense = direction(name)
+            if sense == "none":
+                continue
+            if name not in new_metrics:
+                failures.append(
+                    f"{base_path.name}: metric '{name}' vanished from the "
+                    "fresh run"
+                )
+                continue
+            new_value = new_metrics[name]
+            compared += 1
+            if sense == "lower" and "ms" in name.lower().split("_") and (
+                abs(base_value) < latency_floor_ms
+                and abs(new_value) < latency_floor_ms
+            ):
+                continue  # sub-floor micro-timing: noise, not signal
+            if base_value == 0:
+                regressed = sense == "higher" and new_value < -threshold
+                ratio_text = "baseline 0"
+            elif sense == "higher":
+                change = (new_value - base_value) / abs(base_value)
+                regressed = change < -threshold
+                ratio_text = f"{change:+.1%}"
+            else:
+                change = (new_value - base_value) / abs(base_value)
+                regressed = change > threshold
+                ratio_text = f"{change:+.1%}"
+            marker = "FAIL" if regressed else "ok"
+            print(f"[{marker:>4}] {base_path.name}:{name}: "
+                  f"baseline {base_value:g} -> {new_value:g} ({ratio_text}, "
+                  f"{sense}-is-better)")
+            if regressed:
+                failures.append(
+                    f"{base_path.name}: '{name}' regressed beyond "
+                    f"{threshold:.0%}: {base_value:g} -> {new_value:g}"
+                )
+
+    print(f"\ncompared {compared} gated metric(s) across "
+          f"{len(baseline_files)} artifact(s)")
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} issue(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("\nIf the change is intentional, refresh the snapshot with "
+              "'python3 bench/compare_bench.py <results> bench/baseline "
+              "--snapshot' and commit it.", file=sys.stderr)
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results_dir", type=pathlib.Path,
+                        help="fresh bench output (bench/run_all.sh results)")
+    parser.add_argument("baseline_dir", type=pathlib.Path,
+                        help="checked-in snapshot (bench/baseline)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative regression (default 0.25)")
+    parser.add_argument("--latency-floor-ms", type=float, default=75.0,
+                        help="skip *_ms comparisons when both sides are "
+                             "below this (default 75ms: sub-floor timings "
+                             "are scheduler/host noise, not regressions)")
+    parser.add_argument("--snapshot", action="store_true",
+                        help="rewrite the baseline from results_dir instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    if not args.results_dir.is_dir():
+        print(f"error: results dir {args.results_dir} not found",
+              file=sys.stderr)
+        return 2
+    if args.snapshot:
+        return snapshot(args.results_dir, args.baseline_dir)
+    return compare(args.results_dir, args.baseline_dir, args.threshold,
+                   args.latency_floor_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,6 +152,33 @@ void BM_EstimateSequential(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateSequential)->Unit(benchmark::kMillisecond);
 
+void BM_EstimateMany(benchmark::State& state) {
+  scenario::Testbed& tb = SharedTestbed();
+  int n = static_cast<int>(state.range(0));
+  std::vector<advisor::Tenant> tenants;
+  for (int i = 0; i < n; ++i) {
+    simdb::Workload w;
+    w.AddStatement(workload::TpchQuery(tb.tpch_sf1(), i % 2 ? 18 : 21),
+                   1.0 + i);
+    tenants.push_back(
+        tb.MakeTenant(i % 2 ? tb.db2_sf1() : tb.pg_sf1(), w));
+  }
+  // The shape of one greedy iteration: every tenant probed at a handful
+  // of candidate allocations, all in one tenant-tagged batch.
+  std::vector<advisor::TenantAllocation> frontier;
+  for (int i = 0; i < n; ++i) {
+    for (double c = 0.1; c <= 1.0 + 1e-9; c += 0.1) {
+      frontier.push_back({i, {std::min(c, 1.0), 0.5}});
+      frontier.push_back({i, {0.5, std::min(c, 1.0)}});
+    }
+  }
+  for (auto _ : state) {
+    advisor::WhatIfCostEstimator est(tb.machine(), tenants);
+    benchmark::DoNotOptimize(est.EstimateMany(frontier));
+  }
+}
+BENCHMARK(BM_EstimateMany)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_EstimateBatch(benchmark::State& state) {
   scenario::Testbed& tb = SharedTestbed();
   simdb::Workload w = DssWorkload(tb);
@@ -206,6 +233,51 @@ void RecordEstimateBatchSpeedup() {
   RecordMetric("estimate_batch_sequential_ms", seq_seconds * 1e3);
   RecordMetric("estimate_batch_parallel_ms", batch_seconds * 1e3);
   RecordMetric("estimate_batch_speedup", speedup);
+
+  // Cross-tenant fan-out: one greedy-iteration-shaped frontier over eight
+  // heterogeneous tenants, EstimateMany vs per-item sequential estimation.
+  const int n = 8;
+  std::vector<advisor::Tenant> tenants;
+  for (int i = 0; i < n; ++i) {
+    simdb::Workload wt;
+    wt.AddStatement(workload::TpchQuery(tb.tpch_sf1(), i % 2 ? 18 : 21),
+                    1.0 + i % 3);
+    tenants.push_back(tb.MakeTenant(i % 2 ? tb.db2_sf1() : tb.pg_sf1(), wt));
+  }
+  std::vector<advisor::TenantAllocation> frontier;
+  for (int i = 0; i < n; ++i) {
+    for (double c = 0.05; c <= 1.0 + 1e-9; c += 0.05) {
+      frontier.push_back({i, {std::min(c, 1.0), 0.5}});
+      frontier.push_back({i, {0.5, std::min(c, 1.0)}});
+    }
+  }
+  auto time_many = [&](bool batched) {
+    advisor::WhatIfCostEstimator est(tb.machine(), tenants);
+    auto start = std::chrono::steady_clock::now();
+    if (batched) {
+      est.EstimateMany(frontier);
+    } else {
+      for (const advisor::TenantAllocation& item : frontier) {
+        est.EstimateSeconds(item.tenant, item.r);
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  time_many(false);  // warm
+  double many_seq = time_many(false);
+  double many_batch = time_many(true);
+  double many_speedup = many_batch > 0.0 ? many_seq / many_batch : 0.0;
+  std::printf("EstimateMany: %zu cross-tenant probes (%d tenants), "
+              "sequential %.1f ms, batched %.1f ms, speedup %.2fx\n",
+              frontier.size(), n, many_seq * 1e3, many_batch * 1e3,
+              many_speedup);
+  RecordMetric("estimate_many_probes", static_cast<double>(frontier.size()));
+  RecordMetric("estimate_many_tenants", n);
+  RecordMetric("estimate_many_sequential_ms", many_seq * 1e3);
+  RecordMetric("estimate_many_parallel_ms", many_batch * 1e3);
+  RecordMetric("estimate_many_speedup", many_speedup);
   PrintFooter();
 }
 

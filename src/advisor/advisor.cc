@@ -8,9 +8,9 @@ VirtualizationDesignAdvisor::VirtualizationDesignAdvisor(
     const simvm::PhysicalMachine& machine, std::vector<Tenant> tenants,
     AdvisorOptions options)
     : machine_(machine),
-      options_(options),
+      options_(std::move(options)),
       estimator_(std::make_unique<WhatIfCostEstimator>(
-          machine, std::move(tenants), options.estimator)) {}
+          machine, std::move(tenants), options_.estimator)) {}
 
 std::vector<QosSpec> VirtualizationDesignAdvisor::QosList() const {
   std::vector<QosSpec> qos;

@@ -6,6 +6,47 @@
 
 namespace vdba::advisor {
 
+double EnumeratorOptions::DeltaAt(int dim, int stage) const {
+  VDBA_CHECK_GE(stage, 0);
+  if (!Allocates(dim)) return delta;
+  const std::vector<double>& schedule = deltas[static_cast<size_t>(dim)];
+  if (schedule.empty()) return delta;
+  size_t s = std::min(static_cast<size_t>(stage), schedule.size() - 1);
+  VDBA_CHECK_GT(schedule[s], 0.0);
+  return schedule[s];
+}
+
+int EnumeratorOptions::NumStages() const {
+  size_t stages = 1;
+  for (const std::vector<double>& schedule : deltas) {
+    stages = std::max(stages, schedule.size());
+  }
+  return static_cast<int>(stages);
+}
+
+std::vector<CandidateMove> MoveFrontier(
+    const std::vector<simvm::ResourceVector>& allocations,
+    const EnumeratorOptions& options, int dims, int stage) {
+  std::vector<CandidateMove> frontier;
+  frontier.reserve(allocations.size() * static_cast<size_t>(2 * dims));
+  for (size_t i = 0; i < allocations.size(); ++i) {
+    const simvm::ResourceVector& r = allocations[i];
+    for (int dim = 0; dim < dims; ++dim) {
+      if (!options.Allocates(dim)) continue;
+      const double delta = options.DeltaAt(dim, stage);
+      if (CanRaise(r, dim, delta)) {
+        frontier.push_back(CandidateMove{static_cast<int>(i), dim, true,
+                                         delta, Raised(r, dim, delta)});
+      }
+      if (CanLower(r, dim, delta, options.min_share)) {
+        frontier.push_back(CandidateMove{static_cast<int>(i), dim, false,
+                                         delta, Lowered(r, dim, delta)});
+      }
+    }
+  }
+  return frontier;
+}
+
 std::vector<simvm::ResourceVector> DefaultAllocation(int n, int dims) {
   VDBA_CHECK_GT(n, 0);
   return std::vector<simvm::ResourceVector>(

@@ -1,5 +1,6 @@
 #include "advisor/cost_estimator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -13,6 +14,16 @@ std::vector<double> CostEstimator::EstimateBatch(
   out.reserve(candidates.size());
   for (const simvm::ResourceVector& r : candidates) {
     out.push_back(EstimateSeconds(tenant, r));
+  }
+  return out;
+}
+
+std::vector<double> CostEstimator::EstimateMany(
+    std::span<const TenantAllocation> batch) {
+  std::vector<double> out;
+  out.reserve(batch.size());
+  for (const TenantAllocation& item : batch) {
+    out.push_back(EstimateSeconds(item.tenant, item.r));
   }
   return out;
 }
@@ -121,59 +132,82 @@ ThreadPool* WhatIfCostEstimator::pool() {
 
 std::vector<double> WhatIfCostEstimator::EstimateBatch(
     int tenant, std::span<const simvm::ResourceVector> candidates) {
-  VDBA_CHECK_GE(tenant, 0);
-  VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
+  std::vector<TenantAllocation> batch;
+  batch.reserve(candidates.size());
+  for (const simvm::ResourceVector& r : candidates) {
+    batch.push_back(TenantAllocation{tenant, r});
+  }
+  return EstimateMany(batch);
+}
 
+std::vector<double> WhatIfCostEstimator::EstimateMany(
+    std::span<const TenantAllocation> batch) {
   // Partition the batch into cache hits and distinct misses (first
   // occurrence wins, exactly as a sequential run would).
   struct Miss {
     CacheKey key;
+    int tenant;
     simvm::ResourceVector r;
     CacheValue value;
     long calls = 0;
   };
   std::vector<Miss> misses;
-  // Per-candidate: index into `misses` for the FIRST occurrence of an
-  // uncached key, -1 for cached keys and later duplicates (which replay
-  // as cache hits below, exactly like a sequential run).
-  std::vector<int> miss_index(candidates.size(), -1);
+  // Per-item: index into `misses` for the FIRST occurrence of an uncached
+  // key, -1 for cached keys and later duplicates (which replay as cache
+  // hits below, exactly like a sequential run).
+  std::vector<int> miss_index(batch.size(), -1);
   std::unordered_map<CacheKey, int, CacheKeyHash> pending;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    simvm::ResourceVector r = candidates[i].Expanded(num_dims());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int tenant = batch[i].tenant;
+    VDBA_CHECK_GE(tenant, 0);
+    VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
+    simvm::ResourceVector r = batch[i].r.Expanded(num_dims());
     VDBA_CHECK_MSG(r.Valid(), "invalid allocation %s", r.ToString().c_str());
     CacheKey key = MakeKey(tenant, r);
     if (cache_.contains(key)) continue;
     auto [it, inserted] =
         pending.emplace(key, static_cast<int>(misses.size()));
     if (inserted) {
-      misses.push_back(Miss{key, r, CacheValue{}, 0});
+      misses.push_back(Miss{key, tenant, r, CacheValue{}, 0});
       miss_index[i] = it->second;
     }
   }
 
   // Fan the distinct misses out: the what-if computation is pure, so
-  // parallel execution is bitwise-identical to sequential.
+  // parallel execution is bitwise-identical to sequential. Tenants are
+  // heterogeneous, so claim heavy workloads first (LPT) — a large tenant
+  // picked up last would leave one worker grinding alone at the tail.
   if (misses.size() > 1) {
-    pool()->ParallelFor(misses.size(), [&](size_t m) {
-      misses[m].value = Compute(tenant, misses[m].r, &misses[m].calls);
+    std::vector<size_t> order(misses.size());
+    for (size_t m = 0; m < order.size(); ++m) order[m] = m;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return tenants_[static_cast<size_t>(misses[a].tenant)]
+                 .workload.statements.size() >
+             tenants_[static_cast<size_t>(misses[b].tenant)]
+                 .workload.statements.size();
+    });
+    pool()->ParallelForOrder(order, [&](size_t m) {
+      misses[m].value = Compute(misses[m].tenant, misses[m].r,
+                                &misses[m].calls);
     });
   } else if (misses.size() == 1) {
-    misses[0].value = Compute(tenant, misses[0].r, &misses[0].calls);
+    misses[0].value = Compute(misses[0].tenant, misses[0].r,
+                              &misses[0].calls);
   }
 
   // Commit results in the order a sequential run would have: walk the
-  // candidates, inserting each first-seen miss, counting later duplicates
-  // and pre-existing entries as cache hits.
-  std::vector<double> out(candidates.size(), 0.0);
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  // items, inserting each first-seen miss, counting later duplicates and
+  // pre-existing entries as cache hits.
+  std::vector<double> out(batch.size(), 0.0);
+  for (size_t i = 0; i < batch.size(); ++i) {
     int m = miss_index[i];
     if (m >= 0) {
       Miss& miss = misses[static_cast<size_t>(m)];
       optimizer_calls_ += miss.calls;
-      out[i] =
-          Insert(miss.key, tenant, miss.r, std::move(miss.value)).est_seconds;
+      out[i] = Insert(miss.key, miss.tenant, miss.r, std::move(miss.value))
+                   .est_seconds;
     } else {
-      out[i] = Lookup(tenant, candidates[i]).est_seconds;
+      out[i] = Lookup(batch[i].tenant, batch[i].r).est_seconds;
     }
   }
   return out;

@@ -26,6 +26,13 @@
 
 namespace vdba::advisor {
 
+/// One (tenant, candidate allocation) probe inside a cross-tenant batch:
+/// the unit of work of EstimateMany.
+struct TenantAllocation {
+  int tenant = 0;
+  simvm::ResourceVector r;
+};
+
 /// Abstract estimator: seconds to complete tenant `tenant`'s workload
 /// under allocation `r`.
 class CostEstimator {
@@ -43,6 +50,14 @@ class CostEstimator {
   /// order; implementations may parallelize. The default is sequential.
   virtual std::vector<double> EstimateBatch(
       int tenant, std::span<const simvm::ResourceVector> candidates);
+
+  /// Estimates for a tenant-tagged batch spanning several tenants — the
+  /// full cross-tenant move frontier of one greedy iteration in a single
+  /// fan-out. Semantically identical to calling EstimateSeconds per item
+  /// in order; implementations may parallelize across tenants as well as
+  /// candidates. The default is sequential.
+  virtual std::vector<double> EstimateMany(
+      std::span<const TenantAllocation> batch);
 };
 
 /// One logged what-if estimate.
@@ -84,6 +99,15 @@ class WhatIfCostEstimator : public CostEstimator {
   std::vector<double> EstimateBatch(
       int tenant,
       std::span<const simvm::ResourceVector> candidates) override;
+
+  /// Cross-tenant parallel what-if estimation: every distinct uncached
+  /// (tenant, allocation) probe fans out over the thread pool at once,
+  /// heaviest workloads first (LPT scheduling — tenants are heterogeneous,
+  /// and a large tenant scheduled last would serialize the tail). Results,
+  /// cache state, observation logs, and the optimizer-call/cache-hit
+  /// counters are exactly those of the equivalent sequential run.
+  std::vector<double> EstimateMany(
+      std::span<const TenantAllocation> batch) override;
 
   /// Estimate plus the plan signature under that allocation.
   double EstimateWithSignature(int tenant, const simvm::ResourceVector& r,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/check.h"
 
@@ -98,9 +99,55 @@ StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
   return best;
 }
 
+BatchAllocationObjective BatchedObjective(AllocationObjective f) {
+  return [f = std::move(f)](
+             const std::vector<std::vector<simvm::ResourceVector>>& batch) {
+    std::vector<double> out;
+    out.reserve(batch.size());
+    for (const auto& alloc : batch) out.push_back(f(alloc));
+    return out;
+  };
+}
+
+BatchAllocationObjective EstimatorObjective(CostEstimator* estimator,
+                                            std::vector<QosSpec> qos) {
+  VDBA_CHECK(estimator != nullptr);
+  return [estimator, qos = std::move(qos)](
+             const std::vector<std::vector<simvm::ResourceVector>>& batch) {
+    std::vector<TenantAllocation> probes;
+    size_t total = 0;
+    for (const auto& alloc : batch) total += alloc.size();
+    probes.reserve(total);
+    for (const auto& alloc : batch) {
+      for (size_t i = 0; i < alloc.size(); ++i) {
+        probes.push_back(TenantAllocation{static_cast<int>(i), alloc[i]});
+      }
+    }
+    std::vector<double> ests = estimator->EstimateMany(probes);
+    std::vector<double> out;
+    out.reserve(batch.size());
+    size_t k = 0;
+    for (const auto& alloc : batch) {
+      double obj = 0.0;
+      for (size_t i = 0; i < alloc.size(); ++i) {
+        double gain = i < qos.size() ? qos[i].gain_factor : 1.0;
+        obj += gain * ests[k++];
+      }
+      out.push_back(obj);
+    }
+    return out;
+  };
+}
+
 SearchResult LocalSearch(
     const std::vector<std::vector<simvm::ResourceVector>>& starts,
     const AllocationObjective& f, const EnumeratorOptions& options) {
+  return LocalSearchBatched(starts, BatchedObjective(f), options);
+}
+
+SearchResult LocalSearchBatched(
+    const std::vector<std::vector<simvm::ResourceVector>>& starts,
+    const BatchAllocationObjective& f, const EnumeratorOptions& options) {
   VDBA_CHECK(!starts.empty());
   SearchResult best;
   best.objective = std::numeric_limits<double>::infinity();
@@ -109,40 +156,50 @@ SearchResult LocalSearch(
     std::vector<simvm::ResourceVector> current = start;
     VDBA_CHECK(!current.empty());
     const int dims = current.front().dims();
-    double current_obj = f(current);
+    const int n = static_cast<int>(current.size());
+    double current_obj = f({current}).front();
     ++best.evaluations;
     bool improved = true;
     int guard = 0;
     while (improved && guard++ < options.max_iterations) {
       improved = false;
-      const int n = static_cast<int>(current.size());
+      // Materialize every feasible pairwise move (lower `from`, raise
+      // `to`, same dimension and step) and evaluate the whole frontier in
+      // one batched call — a parallel estimator fans it all out at once.
+      std::vector<std::vector<simvm::ResourceVector>> frontier;
       for (int dim = 0; dim < dims; ++dim) {
         if (!options.Allocates(dim)) continue;
+        const double delta = options.FinestDelta(dim);
         for (int from = 0; from < n; ++from) {
+          if (!CanLower(current[static_cast<size_t>(from)], dim, delta,
+                        options.min_share)) {
+            continue;
+          }
           for (int to = 0; to < n; ++to) {
             if (from == to) continue;
-            simvm::ResourceVector& r_from = current[static_cast<size_t>(from)];
-            simvm::ResourceVector& r_to = current[static_cast<size_t>(to)];
-            if (!CanLower(r_from, dim, options.delta, options.min_share)) {
+            if (!CanRaise(current[static_cast<size_t>(to)], dim, delta)) {
               continue;
             }
-            if (!CanRaise(r_to, dim, options.delta)) continue;
-            const simvm::ResourceVector save_from = r_from;
-            const simvm::ResourceVector save_to = r_to;
-            r_from = Lowered(r_from, dim, options.delta);
-            r_to = Raised(r_to, dim, options.delta);
-            double obj = f(current);
-            ++best.evaluations;
-            if (obj + 1e-12 < current_obj) {
-              current_obj = obj;
-              improved = true;
-            } else {
-              // Revert.
-              r_from = save_from;
-              r_to = save_to;
-            }
+            std::vector<simvm::ResourceVector> candidate = current;
+            candidate[static_cast<size_t>(from)] =
+                Lowered(candidate[static_cast<size_t>(from)], dim, delta);
+            candidate[static_cast<size_t>(to)] =
+                Raised(candidate[static_cast<size_t>(to)], dim, delta);
+            frontier.push_back(std::move(candidate));
           }
         }
+      }
+      if (frontier.empty()) break;
+      std::vector<double> objs = f(frontier);
+      best.evaluations += static_cast<long>(frontier.size());
+      size_t steepest = 0;
+      for (size_t c = 1; c < frontier.size(); ++c) {
+        if (objs[c] < objs[steepest]) steepest = c;
+      }
+      if (objs[steepest] + 1e-12 < current_obj) {
+        current_obj = objs[steepest];
+        current = std::move(frontier[steepest]);
+        improved = true;
       }
     }
     if (current_obj < best.objective) {

@@ -13,7 +13,9 @@
 #include <functional>
 #include <vector>
 
+#include "advisor/cost_estimator.h"
 #include "advisor/greedy_enumerator.h"
+#include "advisor/qos.h"
 #include "simvm/resource_vector.h"
 #include "util/status.h"
 
@@ -23,6 +25,22 @@ namespace vdba::advisor {
 /// better). May be backed by estimates or by actual measurements.
 using AllocationObjective =
     std::function<double(const std::vector<simvm::ResourceVector>&)>;
+
+/// Objective over MANY full allocation vectors at once; element k is the
+/// objective of batch[k]. Lets local search hand a whole move frontier to
+/// a parallel estimator (CostEstimator::EstimateMany) in one fan-out.
+using BatchAllocationObjective = std::function<std::vector<double>(
+    const std::vector<std::vector<simvm::ResourceVector>>&)>;
+
+/// Adapts a scalar objective to the batched interface (sequential loop).
+BatchAllocationObjective BatchedObjective(AllocationObjective f);
+
+/// Batched objective backed by a cost estimator: every (candidate, tenant)
+/// probe of the batch goes through one EstimateMany call, and candidate
+/// objectives are the gain-weighted per-tenant sums. `qos` may be empty
+/// (all gain factors 1).
+BatchAllocationObjective EstimatorObjective(CostEstimator* estimator,
+                                            std::vector<QosSpec> qos = {});
 
 /// Best allocation found plus its objective value.
 struct SearchResult {
@@ -41,9 +59,17 @@ StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
 
 /// Multi-start hill climbing with single-delta moves (the same move set as
 /// the greedy enumerator) from `starts`; returns the best local optimum.
+/// Each pass evaluates the full pairwise move frontier and applies the
+/// steepest improving move. The scalar overload evaluates candidates one
+/// by one; LocalSearchBatched hands each pass's frontier to `f` in one
+/// call (pair it with EstimatorObjective for cross-tenant fan-out).
 SearchResult LocalSearch(
     const std::vector<std::vector<simvm::ResourceVector>>& starts,
     const AllocationObjective& f, const EnumeratorOptions& options);
+
+SearchResult LocalSearchBatched(
+    const std::vector<std::vector<simvm::ResourceVector>>& starts,
+    const BatchAllocationObjective& f, const EnumeratorOptions& options);
 
 }  // namespace vdba::advisor
 

@@ -1,5 +1,6 @@
 #include "advisor/greedy_enumerator.h"
 
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -20,31 +21,23 @@ struct TenantMoves {
   }
 };
 
-/// Batch-estimates every feasible single-delta move of tenant `i` (the
-/// greedy inner loop's 2M estimates, fanned out by EstimateBatch).
-TenantMoves EvaluateMoves(CostEstimator* estimator, int i,
-                          const simvm::ResourceVector& r, int dims,
-                          const EnumeratorOptions& options) {
-  std::vector<simvm::ResourceVector> candidates;
-  std::vector<std::pair<int, bool>> slots;  // (dim, is_up)
-  candidates.reserve(static_cast<size_t>(2 * dims));
-  for (int dim = 0; dim < dims; ++dim) {
-    if (!options.Allocates(dim)) continue;
-    if (CanRaise(r, dim, options.delta)) {
-      candidates.push_back(Raised(r, dim, options.delta));
-      slots.emplace_back(dim, true);
-    }
-    if (CanLower(r, dim, options.delta, options.min_share)) {
-      candidates.push_back(Lowered(r, dim, options.delta));
-      slots.emplace_back(dim, false);
-    }
+/// Evaluates the full cross-tenant frontier in one estimator fan-out and
+/// folds the estimates back into per-tenant up/down cost tables.
+std::vector<TenantMoves> EvaluateFrontier(
+    CostEstimator* estimator, const std::vector<CandidateMove>& frontier,
+    int n) {
+  std::vector<TenantAllocation> probes;
+  probes.reserve(frontier.size());
+  for (const CandidateMove& mv : frontier) {
+    probes.push_back(TenantAllocation{mv.tenant, mv.r});
   }
-  std::vector<double> ests = estimator->EstimateBatch(i, candidates);
-  TenantMoves moves;
-  for (size_t s = 0; s < slots.size(); ++s) {
-    auto [dim, is_up] = slots[s];
-    (is_up ? moves.up_cost : moves.down_cost)[static_cast<size_t>(dim)] =
-        ests[s];
+  std::vector<double> ests = estimator->EstimateMany(probes);
+  std::vector<TenantMoves> moves(static_cast<size_t>(n));
+  for (size_t s = 0; s < frontier.size(); ++s) {
+    const CandidateMove& mv = frontier[s];
+    (mv.up ? moves[static_cast<size_t>(mv.tenant)].up_cost
+           : moves[static_cast<size_t>(mv.tenant)].down_cost)
+        [static_cast<size_t>(mv.dim)] = ests[s];
   }
   return moves;
 }
@@ -57,8 +50,7 @@ EnumerationResult GreedyEnumerator::Run(
   const int n = estimator->num_tenants();
   const int dims = estimator->num_dims();
   VDBA_CHECK_EQ(static_cast<size_t>(n), qos.size());
-  const double delta = options_.delta;
-  VDBA_CHECK_GT(delta, 0.0);
+  VDBA_CHECK_GT(options_.delta, 0.0);
 
   EnumerationResult result;
   result.allocations = initial.empty() ? DefaultAllocation(n, dims)
@@ -69,11 +61,27 @@ EnumerationResult GreedyEnumerator::Run(
   // the move loops.
   for (simvm::ResourceVector& r : result.allocations) r = r.Expanded(dims);
 
-  // Full-allocation costs for degradation limits (Cost(W_i,[1,...,1])).
-  std::vector<double> full_cost(static_cast<size_t>(n), 0.0);
+  // Full-allocation costs for degradation limits (Cost(W_i,[1,...,1]))
+  // plus the starting-point costs, probed in one cross-tenant fan-out.
+  std::vector<TenantAllocation> warmup;
+  warmup.reserve(static_cast<size_t>(2 * n));
   for (int i = 0; i < n; ++i) {
-    full_cost[static_cast<size_t>(i)] =
-        estimator->EstimateSeconds(i, simvm::ResourceVector::Full(dims));
+    warmup.push_back(TenantAllocation{i, simvm::ResourceVector::Full(dims)});
+  }
+  for (int i = 0; i < n; ++i) {
+    warmup.push_back(
+        TenantAllocation{i, result.allocations[static_cast<size_t>(i)]});
+  }
+  std::vector<double> warmup_costs = estimator->EstimateMany(warmup);
+
+  std::vector<double> full_cost(static_cast<size_t>(n), 0.0);
+  // Current weighted costs C_i.
+  std::vector<double> cost(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    full_cost[static_cast<size_t>(i)] = warmup_costs[static_cast<size_t>(i)];
+    cost[static_cast<size_t>(i)] =
+        qos[static_cast<size_t>(i)].gain_factor *
+        warmup_costs[static_cast<size_t>(n + i)];
   }
   auto satisfies_limit = [&](int i, double unweighted_cost) {
     const QosSpec& q = qos[static_cast<size_t>(i)];
@@ -82,26 +90,22 @@ EnumerationResult GreedyEnumerator::Run(
            q.degradation_limit * full_cost[static_cast<size_t>(i)];
   };
 
-  // Current weighted costs C_i.
-  std::vector<double> cost(static_cast<size_t>(n), 0.0);
-  for (int i = 0; i < n; ++i) {
-    cost[static_cast<size_t>(i)] =
-        qos[static_cast<size_t>(i)].gain_factor *
-        estimator->EstimateSeconds(i, result.allocations[static_cast<size_t>(i)]);
-  }
+  // Annealing stage: every dimension starts at the coarsest step of its
+  // schedule and refines only when the current frontier has no improving
+  // move (options_.deltas; a plain single-delta search has one stage).
+  int stage = 0;
+  const int num_stages = options_.NumStages();
 
   bool done = false;
   while (!done && result.iterations < options_.max_iterations) {
     ++result.iterations;
 
-    // All candidate moves of this iteration, batched per tenant.
-    std::vector<TenantMoves> moves;
-    moves.reserve(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      moves.push_back(EvaluateMoves(estimator, i,
-                                    result.allocations[static_cast<size_t>(i)],
-                                    dims, options_));
-    }
+    // The full cross-tenant move frontier of this iteration, evaluated in
+    // a single estimator fan-out.
+    std::vector<CandidateMove> frontier =
+        MoveFrontier(result.allocations, options_, dims, stage);
+    std::vector<TenantMoves> moves =
+        EvaluateFrontier(estimator, frontier, n);
 
     double max_diff = 0.0;
     int best_gain_tenant = -1, best_lose_tenant = -1, best_dim = -1;
@@ -158,6 +162,7 @@ EnumerationResult GreedyEnumerator::Run(
     }
 
     if (max_diff > 1e-12 && best_dim >= 0) {
+      const double delta = options_.DeltaAt(best_dim, stage);
       simvm::ResourceVector& gain_r =
           result.allocations[static_cast<size_t>(best_gain_tenant)];
       simvm::ResourceVector& lose_r =
@@ -166,6 +171,10 @@ EnumerationResult GreedyEnumerator::Run(
       lose_r = Lowered(lose_r, best_dim, delta);
       cost[static_cast<size_t>(best_gain_tenant)] = best_gain_cost;
       cost[static_cast<size_t>(best_lose_tenant)] = best_lose_cost;
+    } else if (stage + 1 < num_stages) {
+      // No improving move at the current steps: anneal every dimension to
+      // the next (finer) entry of its schedule and keep searching.
+      ++stage;
     } else {
       done = true;
     }
@@ -178,7 +187,8 @@ EnumerationResult GreedyEnumerator::Run(
   // meets limits well below the default degradation. We therefore push
   // resources toward violating workloads, taking delta from the donor that
   // suffers least (and stays within its own limit), until every limit
-  // holds or no legal move remains.
+  // holds or no legal move remains. Moves use each dimension's finest
+  // step so restoration agrees with the annealed search grid.
   for (int guard = 0; guard < options_.max_iterations; ++guard) {
     int violator = -1;
     double worst = 1.0 + 1e-9;
@@ -204,6 +214,7 @@ EnumerationResult GreedyEnumerator::Run(
         result.allocations[static_cast<size_t>(violator)];
     for (int dim = 0; dim < dims; ++dim) {
       if (!options_.Allocates(dim)) continue;
+      const double delta = options_.FinestDelta(dim);
       if (!CanRaise(rv, dim, delta)) continue;
       simvm::ResourceVector up = Raised(rv, dim, delta);
       double gain = estimator->EstimateSeconds(violator, rv) -
@@ -225,6 +236,7 @@ EnumerationResult GreedyEnumerator::Run(
       }
     }
     if (best_dim < 0) break;  // no legal move; violations stand
+    const double delta = options_.FinestDelta(best_dim);
     simvm::ResourceVector& gain_r =
         result.allocations[static_cast<size_t>(violator)];
     simvm::ResourceVector& lose_r =

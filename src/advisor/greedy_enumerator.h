@@ -4,12 +4,17 @@
 // resource from the workload that suffers least to the workload that gains
 // most, subject to per-workload degradation limits; gain factors G_i weight
 // the gains/losses. Terminates when no beneficial move exists. The move
-// loop is dimension-generic: it runs over however many dimensions the
-// estimator's resource model carries.
+// loop is dimension-generic and cross-tenant batched: each iteration
+// materializes the full (tenant, dimension, +/-delta) move frontier via
+// MoveFrontier and evaluates it in ONE CostEstimator::EstimateMany call,
+// so a parallel estimator fans every tenant's probes out at once instead
+// of tenant-by-tenant. Per-dimension delta schedules (EnumeratorOptions::
+// deltas) anneal the step size coarse-to-fine once the coarse frontier has
+// no improving move.
 #ifndef VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
 #define VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
 
-#include <array>
+#include <utility>
 #include <vector>
 
 #include "advisor/allocation.h"
@@ -18,29 +23,6 @@
 #include "simvm/resource_vector.h"
 
 namespace vdba::advisor {
-
-/// Knobs of the enumeration (and of the allocation moves in general).
-struct EnumeratorOptions {
-  /// Share moved per iteration (the paper's delta; default 5%).
-  double delta = 0.05;
-  /// A VM cannot drop below this share of any allocated resource (a VM
-  /// with 0% CPU or memory cannot run at all).
-  double min_share = 0.05;
-  /// Hard cap on iterations (the paper observed convergence in <= 8).
-  int max_iterations = 200;
-  /// Per-dimension enablement: allocate[d] == false pins dimension d at
-  /// its starting share. CPU-only experiments (§7.3, §7.6) pin memory.
-  /// Every dimension starts enabled, however many exist.
-  std::array<bool, simvm::kMaxResourceDims> allocate = [] {
-    std::array<bool, simvm::kMaxResourceDims> a{};
-    a.fill(true);
-    return a;
-  }();
-
-  bool Allocates(int dim) const {
-    return allocate[static_cast<size_t>(dim)];
-  }
-};
 
 /// Result of one enumeration run.
 struct EnumerationResult {
@@ -60,7 +42,7 @@ struct EnumerationResult {
 class GreedyEnumerator {
  public:
   explicit GreedyEnumerator(EnumeratorOptions options = EnumeratorOptions())
-      : options_(options) {}
+      : options_(std::move(options)) {}
 
   /// Runs the search. `qos[i]` applies to tenant i; `initial` overrides the
   /// default equal-shares starting point (pass empty for 1/N).

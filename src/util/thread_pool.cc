@@ -88,4 +88,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
 }
 
+void ThreadPool::ParallelForOrder(std::span<const size_t> order,
+                                  const std::function<void(size_t)>& fn) {
+  ParallelFor(order.size(), [&](size_t k) { fn(order[k]); });
+}
+
 }  // namespace vdba

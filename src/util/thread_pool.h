@@ -1,5 +1,6 @@
 // A small fixed-size thread pool for fanning independent work items out
-// across cores (the what-if estimator's EstimateBatch hot path).
+// across cores (the what-if estimator's EstimateBatch / EstimateMany hot
+// paths).
 //
 // Deliberately minimal: ParallelFor partitions [0, n) over the workers and
 // blocks until every index has run. Work items must be independent; the
@@ -14,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -36,6 +38,16 @@ class ThreadPool {
   /// caller returns immediately. fn must not call ParallelFor on the
   /// same pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(order[k]) for every k, claiming k in ascending order. With a
+  /// heterogeneous batch (e.g. tenants whose workloads differ wildly in
+  /// size), passing indices sorted heaviest-first gives longest-processing-
+  /// time-first scheduling: the expensive items start immediately instead
+  /// of landing last on one straggling worker. Same blocking and
+  /// independence rules as ParallelFor; `order` must stay alive for the
+  /// duration of the call and hold each index at most once.
+  void ParallelForOrder(std::span<const size_t> order,
+                        const std::function<void(size_t)>& fn);
 
   /// Hardware-derived default worker count (>= 1, capped small: the batch
   /// fan-out targets a handful of cores, not the whole machine).

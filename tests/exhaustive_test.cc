@@ -82,6 +82,63 @@ TEST(LocalSearchTest, MultiStartEscapesPoorStart) {
   EXPECT_GT(res.allocations[0].cpu_share(), 0.6);
 }
 
+TEST(LocalSearchTest, BatchedObjectiveMatchesScalar) {
+  std::vector<double> ac = {25, 4, 9}, am = {4, 16, 1};
+  EnumeratorOptions opts;
+  auto objective = [&](const auto& a) { return Objective(a, ac, am); };
+  auto scalar = LocalSearch({DefaultAllocation(3)}, objective, opts);
+  auto batched = LocalSearchBatched({DefaultAllocation(3)},
+                                    BatchedObjective(objective), opts);
+  EXPECT_DOUBLE_EQ(batched.objective, scalar.objective);
+  ASSERT_EQ(batched.allocations.size(), scalar.allocations.size());
+  for (size_t i = 0; i < scalar.allocations.size(); ++i) {
+    EXPECT_EQ(batched.allocations[i], scalar.allocations[i]) << i;
+  }
+  EXPECT_EQ(batched.evaluations, scalar.evaluations);
+}
+
+TEST(LocalSearchTest, EstimatorObjectiveFansFrontierThroughEstimateMany) {
+  // A synthetic estimator whose EstimateMany counts fan-outs: local search
+  // over EstimatorObjective must evaluate each pass's frontier in one
+  // batched call and land on the same optimum as the scalar path.
+  class Synthetic : public CostEstimator {
+   public:
+    double EstimateSeconds(int tenant,
+                           const simvm::ResourceVector& r) override {
+      const double alpha[2] = {50, 1};
+      return alpha[tenant] / r.cpu_share() + 1.0 / r.mem_share();
+    }
+    int num_tenants() const override { return 2; }
+    std::vector<double> EstimateMany(
+        std::span<const TenantAllocation> batch) override {
+      ++fanouts;
+      return CostEstimator::EstimateMany(batch);
+    }
+    int fanouts = 0;
+  };
+  Synthetic est;
+  EnumeratorOptions opts;
+  auto res = LocalSearchBatched({DefaultAllocation(2)},
+                                EstimatorObjective(&est), opts);
+  EXPECT_GT(res.allocations[0].cpu_share(), 0.6);
+  // One fan-out for the start plus one per hill-climbing pass — far fewer
+  // than the number of candidate evaluations.
+  EXPECT_GT(est.fanouts, 0);
+  EXPECT_LT(static_cast<long>(est.fanouts), res.evaluations);
+
+  auto scalar = LocalSearch(
+      {DefaultAllocation(2)},
+      [&](const std::vector<simvm::ResourceVector>& a) {
+        double total = 0.0;
+        for (size_t i = 0; i < a.size(); ++i) {
+          total += est.EstimateSeconds(static_cast<int>(i), a[i]);
+        }
+        return total;
+      },
+      opts);
+  EXPECT_DOUBLE_EQ(res.objective, scalar.objective);
+}
+
 TEST(LocalSearchTest, RespectsMinShare) {
   std::vector<double> ac = {100, 0.0001}, am = {1, 0.0001};
   EnumeratorOptions opts;

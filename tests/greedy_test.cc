@@ -156,6 +156,117 @@ TEST(GreedyTest, ConvergesWithinIterationCap) {
   EXPECT_LE(res.iterations, greedy.options().max_iterations);
 }
 
+TEST(GreedyTest, AllocatesRejectsOutOfRangeDims) {
+  // Regression: Allocates(dim) used to index past the array for dims >=
+  // kMaxResourceDims (e.g. a 5-dimension estimator probing dim 4).
+  EnumeratorOptions opts;
+  for (int dim = 0; dim < simvm::kMaxResourceDims; ++dim) {
+    EXPECT_TRUE(opts.Allocates(dim)) << dim;
+  }
+  EXPECT_FALSE(opts.Allocates(simvm::kMaxResourceDims));
+  EXPECT_FALSE(opts.Allocates(simvm::kMaxResourceDims + 7));
+  EXPECT_FALSE(opts.Allocates(-1));
+}
+
+TEST(GreedyTest, DeltaScheduleDefaultsToSingleStage) {
+  EnumeratorOptions opts;
+  EXPECT_EQ(opts.NumStages(), 1);
+  EXPECT_DOUBLE_EQ(opts.DeltaAt(simvm::kCpuDim, 0), opts.delta);
+  EXPECT_DOUBLE_EQ(opts.FinestDelta(simvm::kMemDim), opts.delta);
+
+  opts.deltas[simvm::kCpuDim] = {0.2, 0.05, 0.01};
+  opts.deltas[simvm::kMemDim] = {0.1};
+  EXPECT_EQ(opts.NumStages(), 3);
+  EXPECT_DOUBLE_EQ(opts.DeltaAt(simvm::kCpuDim, 0), 0.2);
+  EXPECT_DOUBLE_EQ(opts.DeltaAt(simvm::kCpuDim, 2), 0.01);
+  // Past-the-end stages clamp to the finest entry; shorter schedules stay
+  // at theirs.
+  EXPECT_DOUBLE_EQ(opts.DeltaAt(simvm::kCpuDim, 9), 0.01);
+  EXPECT_DOUBLE_EQ(opts.DeltaAt(simvm::kMemDim, 2), 0.1);
+  // Dimensions without a schedule keep the scalar delta at every stage.
+  EXPECT_DOUBLE_EQ(opts.DeltaAt(simvm::kIoDim, 2), opts.delta);
+  EXPECT_DOUBLE_EQ(opts.FinestDelta(simvm::kCpuDim), 0.01);
+}
+
+TEST(GreedyTest, DeltaScheduleAnnealsCoarseToFine) {
+  // Coarse-to-fine annealing should land near the closed-form optimum
+  // (cpu* = 0.75 for alpha ratio 9) in far fewer iterations than a
+  // fine-only search, because most of the distance is covered at the
+  // coarse step.
+  SyntheticEstimator est_fine({36, 4}, {1, 1}, {0, 0});
+  EnumeratorOptions fine;
+  fine.delta = 0.01;
+  fine.min_share = 0.01;
+  auto res_fine = GreedyEnumerator(fine).Run(&est_fine, {QosSpec{}, QosSpec{}});
+
+  SyntheticEstimator est_sched({36, 4}, {1, 1}, {0, 0});
+  EnumeratorOptions sched;
+  sched.min_share = 0.01;
+  sched.deltas[simvm::kCpuDim] = {0.1, 0.05, 0.01};
+  sched.deltas[simvm::kMemDim] = {0.1, 0.05, 0.01};
+  auto res_sched =
+      GreedyEnumerator(sched).Run(&est_sched, {QosSpec{}, QosSpec{}});
+
+  EXPECT_TRUE(res_fine.converged);
+  EXPECT_TRUE(res_sched.converged);
+  double expected = std::sqrt(36.0 / 4.0) / (1.0 + std::sqrt(36.0 / 4.0));
+  EXPECT_NEAR(res_sched.allocations[0].cpu_share(), expected, 0.03);
+  EXPECT_NEAR(res_sched.objective, res_fine.objective,
+              0.02 * res_fine.objective);
+  EXPECT_LT(res_sched.iterations, res_fine.iterations);
+}
+
+TEST(GreedyTest, ScheduledSearchBeatsCoarseOnlySearch) {
+  // The finest stage refines past the coarse grid: the annealed result
+  // must be at least as good as stopping at the coarse step.
+  SyntheticEstimator est_coarse({36, 4}, {1, 1}, {0, 0});
+  EnumeratorOptions coarse;
+  coarse.delta = 0.1;
+  coarse.min_share = 0.01;
+  auto res_coarse =
+      GreedyEnumerator(coarse).Run(&est_coarse, {QosSpec{}, QosSpec{}});
+
+  SyntheticEstimator est_sched({36, 4}, {1, 1}, {0, 0});
+  EnumeratorOptions sched = coarse;
+  sched.deltas[simvm::kCpuDim] = {0.1, 0.02};
+  sched.deltas[simvm::kMemDim] = {0.1, 0.02};
+  auto res_sched =
+      GreedyEnumerator(sched).Run(&est_sched, {QosSpec{}, QosSpec{}});
+
+  EXPECT_LT(res_sched.objective, res_coarse.objective + 1e-12);
+  EXPECT_GT(res_sched.iterations, res_coarse.iterations);
+}
+
+TEST(GreedyTest, BatchedFrontierOrderIndependent) {
+  // A CostEstimator whose EstimateMany evaluates the frontier back to
+  // front (a stand-in for arbitrary parallel completion order) must drive
+  // greedy to the identical result as the sequential default.
+  class ReversedEstimator : public SyntheticEstimator {
+   public:
+    using SyntheticEstimator::SyntheticEstimator;
+    std::vector<double> EstimateMany(
+        std::span<const TenantAllocation> batch) override {
+      std::vector<double> out(batch.size(), 0.0);
+      for (size_t i = batch.size(); i-- > 0;) {
+        out[i] = EstimateSeconds(batch[i].tenant, batch[i].r);
+      }
+      return out;
+    }
+  };
+  SyntheticEstimator seq({40, 5, 12}, {1, 20, 6}, {0, 0, 0});
+  ReversedEstimator rev({40, 5, 12}, {1, 20, 6}, {0, 0, 0});
+  GreedyEnumerator greedy;
+  std::vector<QosSpec> qos(3);
+  auto a = greedy.Run(&seq, qos);
+  auto b = greedy.Run(&rev, qos);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (size_t i = 0; i < a.allocations.size(); ++i) {
+    EXPECT_EQ(a.allocations[i], b.allocations[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
 TEST(GreedyTest, NearClosedFormOptimumForTwoTenants) {
   // For Cost = a_i/c_i with c_1 + c_2 = 1 the optimum satisfies
   // c_1/c_2 = sqrt(a_1/a_2).
