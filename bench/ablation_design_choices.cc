@@ -2,10 +2,16 @@
 //  D2 - greedy step size delta (2.5% / 5% / 10%) vs solution quality,
 //  D3 - estimator cache on the greedy loop (optimizer calls saved),
 //  I/O-contention VM (§7.1) on/off: how the conservative environment
-//       changes the advisor's CPU split.
+//       changes the advisor's CPU split,
+//  search strategies: every registered SearchStrategy on the same M = 3
+//       tenants (objective + latency recorded per strategy, so the perf
+//       gate guards the strategy code paths).
+#include <chrono>
 #include <cstdio>
 
 #include "advisor/advisor.h"
+#include "advisor/greedy_enumerator.h"
+#include "advisor/search_strategy.h"
 #include "bench_common.h"
 #include "workload/tpch.h"
 
@@ -31,8 +37,8 @@ int main() {
                    "act improvement"});
   for (double delta : {0.025, 0.05, 0.10}) {
     advisor::AdvisorOptions opts;
-    opts.enumerator.delta = delta;
-    opts.enumerator.min_share = delta;
+    opts.search.enumerator.delta = delta;
+    opts.search.enumerator.min_share = delta;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::Recommendation rec = adv.Recommend();
     d2.AddRow({TablePrinter::Pct(delta, 1), std::to_string(rec.iterations),
@@ -69,9 +75,9 @@ int main() {
     std::vector<advisor::Tenant> t2 = {local.MakeTenant(local.db2_sf1(), w1),
                                        local.MakeTenant(local.db2_sf1(), w2)};
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate[simvm::kMemDim] = false;
+    opts.search.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(local.machine(), t2, opts);
-    advisor::GreedyEnumerator greedy(opts.enumerator);
+    advisor::GreedyEnumerator greedy(opts.search.enumerator);
     auto init = std::vector<simvm::ResourceVector>(
         2, simvm::ResourceVector{0.5, local.CpuExperimentMemShare()});
     auto res = greedy.Run(adv.estimator(), adv.QosList(), init);
@@ -85,6 +91,37 @@ int main() {
   c.Print();
   std::printf("(heavier I/O contention raises every tenant's I/O floor, so "
               "CPU shifts matter relatively less and the split narrows)\n");
+
+  // --- Search strategies at M = 3 ---
+  // The strategy-comparison scenario the SearchStrategy API opens: every
+  // registered policy on the same two mixed-intensity tenants with the
+  // machine rationing CPU, memory, and I/O bandwidth — selected purely by
+  // SearchSpec::strategy. delta = 0.1 keeps the exhaustive grid small.
+  std::printf("\n--- search strategies (M = 3, 2 tenants) ---\n");
+  TablePrinter s({"strategy", "objective (est s)", "iter/evals", "ms"});
+  simvm::PhysicalMachine m3 = tb.machine();
+  m3.resources = &simvm::ResourceModel::CpuMemIo();
+  std::vector<advisor::Tenant> t3 = {tb.MakeTenant(tb.db2_sf1(), w1),
+                                     tb.MakeTenant(tb.db2_sf1(), w2)};
+  for (const std::string& name : advisor::RegisteredSearchStrategies()) {
+    advisor::AdvisorOptions opts;
+    opts.search.strategy = name;
+    opts.search.enumerator.delta = 0.1;
+    opts.search.enumerator.min_share = 0.1;
+    advisor::VirtualizationDesignAdvisor adv(m3, t3, opts);
+    auto start = std::chrono::steady_clock::now();
+    advisor::Recommendation rec = adv.Recommend();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    s.AddRow({name, TablePrinter::Num(rec.objective, 0),
+              std::to_string(rec.iterations), TablePrinter::Num(ms, 1)});
+    RecordMetric("strategy_" + name + "_objective_sec", rec.objective);
+    RecordMetric("strategy_" + name + "_latency_ms", ms);
+  }
+  s.Print();
+  std::printf("(exhaustive is the quality yardstick; greedy_refine must "
+              "land between greedy and exhaustive)\n");
   PrintFooter();
   return 0;
 }

@@ -6,7 +6,11 @@ against the checked-in snapshot in ``baseline_dir`` and exits non-zero when
 any gated metric regressed by more than the threshold (default 25%).
 
 The baseline defines the contract: every metric stored in a baseline file
-must exist in the fresh results and stay within the threshold. Direction is
+must exist in the fresh results and stay within the threshold. The reverse
+is deliberately soft — a gateable metric that exists in the fresh run but
+not in the baseline (a metric added by the PR under test) is reported as a
+warning and passes, so new metrics never require a synchronized baseline
+refresh; they start gating once ``--snapshot`` is re-run. Direction is
 derived from the metric name:
 
 * higher-is-better: names containing ``speedup``, ``improvement``,
@@ -102,6 +106,7 @@ def compare(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
         return 2
 
     failures: list[str] = []
+    warnings: list[str] = []
     compared = 0
     for base_path in baseline_files:
         result_path = results_dir / base_path.name
@@ -151,8 +156,28 @@ def compare(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
                     f"{threshold:.0%}: {base_value:g} -> {new_value:g}"
                 )
 
+    # Gateable metrics present in the fresh run but absent from the
+    # baseline are warn-and-pass, not failures: a newly added metric must
+    # not force a synchronized baseline refresh in the same PR. It starts
+    # gating once the snapshot is refreshed.
+    baseline_names = {p.name for p in baseline_files}
+    for result_path in sorted(results_dir.glob("BENCH_*.json")):
+        base_path = baseline_dir / result_path.name
+        base_metrics = (load_metrics(base_path)
+                        if result_path.name in baseline_names else {})
+        for name, value in sorted(load_metrics(result_path).items()):
+            if direction(name) == "none" or name in base_metrics:
+                continue
+            warnings.append(f"{result_path.name}: new metric '{name}' "
+                            f"({value:g}) has no baseline yet")
+            print(f"[warn] {result_path.name}:{name}: {value:g} "
+                  "(not in baseline; gates after the next --snapshot)")
+
     print(f"\ncompared {compared} gated metric(s) across "
           f"{len(baseline_files)} artifact(s)")
+    if warnings:
+        print(f"{len(warnings)} new metric(s) not yet in the baseline "
+              "(warn-and-pass; refresh the snapshot to start gating them)")
     if failures:
         print(f"\nPERF GATE FAILED ({len(failures)} issue(s)):",
               file=sys.stderr)

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "advisor/advisor.h"
+#include "advisor/greedy_enumerator.h"
 #include "bench_common.h"
 #include "workload/units.h"
 
@@ -28,9 +29,9 @@ void RunForEngine(const simdb::DbEngine& engine, const char* figure) {
     std::vector<advisor::Tenant> tenants = {tb.MakeTenant(engine, w5),
                                             tb.MakeTenant(engine, w6)};
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate[simvm::kMemDim] = false;
+    opts.search.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
-    advisor::GreedyEnumerator greedy(opts.enumerator);
+    advisor::GreedyEnumerator greedy(opts.search.enumerator);
     auto init = CpuExperimentDefault(2);
     auto res = greedy.Run(adv.estimator(), adv.QosList(), init);
     double est_def = adv.EstimateTotalSeconds(init);

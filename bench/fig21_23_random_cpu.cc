@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "advisor/advisor.h"
+#include "advisor/greedy_enumerator.h"
 #include "bench_common.h"
 #include "workload/generator.h"
 #include "workload/units.h"
@@ -37,9 +38,9 @@ void SweepN(const std::vector<advisor::Tenant>& all_tenants,
     std::vector<advisor::Tenant> tenants(all_tenants.begin(),
                                          all_tenants.begin() + n);
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate[simvm::kMemDim] = false;
+    opts.search.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
-    advisor::GreedyEnumerator greedy(opts.enumerator);
+    advisor::GreedyEnumerator greedy(opts.search.enumerator);
     auto res =
         greedy.Run(adv.estimator(), adv.QosList(), CpuExperimentDefault(n));
     std::vector<std::string> row = {std::to_string(n)};

@@ -38,6 +38,7 @@ class NoWhatIfEstimator : public advisor::CostEstimator {
   int num_tenants() const override {
     return static_cast<int>(tenants_.size());
   }
+  int num_dims() const override { return 2; }
 
  private:
   std::vector<advisor::Tenant> tenants_;
@@ -75,9 +76,9 @@ int main() {
           tb.MakeTenant(tb.pg_sf10(), mixes[static_cast<size_t>(i)]));
     }
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate[simvm::kMemDim] = false;
+    opts.search.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
-    advisor::GreedyEnumerator greedy(opts.enumerator);
+    advisor::GreedyEnumerator greedy(opts.search.enumerator);
     auto init = CpuExperimentDefault(n);
     auto rec = greedy.Run(adv.estimator(), adv.QosList(), init);
 
@@ -88,7 +89,7 @@ int main() {
     double adv_imp = (t_def - actual_total(rec.allocations)) / t_def;
 
     // Optimal on actuals.
-    advisor::EnumeratorOptions search_opts = opts.enumerator;
+    advisor::EnumeratorOptions search_opts = opts.search.enumerator;
     advisor::SearchResult best;
     if (n <= 3) {
       best = advisor::ExhaustiveSearch(n, actual_total, search_opts).value();

@@ -88,7 +88,7 @@ int main() {
     double t_def = actual_total(def);
     double adv_imp = (t_def - actual_total(rec.allocations)) / t_def;
     advisor::SearchResult best = advisor::LocalSearch(
-        {def, rec.allocations}, actual_total, adv.options().enumerator);
+        {def, rec.allocations}, actual_total, adv.options().search.enumerator);
     double opt_imp = (t_def - best.objective) / t_def;
     imp.AddRow({std::to_string(n), TablePrinter::Pct(adv_imp, 1),
                 TablePrinter::Pct(opt_imp, 1)});

@@ -37,7 +37,7 @@ void RunForFlavor(simdb::EngineFlavor flavor, const char* figures) {
       tenants.push_back(tb.MakeTenant(*engine, set.workloads[idx]));
     }
     advisor::AdvisorOptions opts;
-    opts.enumerator.allocate[simvm::kMemDim] = false;
+    opts.search.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
     advisor::OnlineRefinement refine(&adv, tb.hypervisor());
     advisor::RefinementResult res = refine.Run();
@@ -51,7 +51,7 @@ void RunForFlavor(simdb::EngineFlavor flavor, const char* figures) {
         (t_def - actual_total(res.initial_allocations)) / t_def;
     double post = (t_def - actual_total(res.final_allocations)) / t_def;
     advisor::SearchResult best = advisor::LocalSearch(
-        {init, res.final_allocations}, actual_total, opts.enumerator);
+        {init, res.final_allocations}, actual_total, opts.search.enumerator);
     double opt = (t_def - best.objective) / t_def;
 
     // Average CPU share of the OLTP tenants (even indices).

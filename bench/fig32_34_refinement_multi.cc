@@ -75,7 +75,7 @@ int main() {
     advisor::SearchResult best =
         advisor::LocalSearch({def, res.final_allocations,
                               res.initial_allocations},
-                             actual_total, adv.options().enumerator);
+                             actual_total, adv.options().search.enumerator);
     double opt = (t_def - best.objective) / t_def;
     imp.AddRow({std::to_string(n), TablePrinter::Pct(pre, 1),
                 TablePrinter::Pct(post, 1), TablePrinter::Pct(opt, 1),

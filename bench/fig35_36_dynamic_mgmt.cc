@@ -35,7 +35,7 @@ std::vector<PeriodRow> RunPolicy(advisor::ReallocationPolicy policy) {
       tb.MakeTenant(tb.db2_mixed(), tpch_units(0)),
       tb.MakeTenant(tb.db2_mixed(), tpcc)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
   advisor::DynamicOptions dyn;
   dyn.policy = policy;

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "advisor/advisor.h"
+#include "advisor/greedy_enumerator.h"
 #include "bench_common.h"
 #include "workload/units.h"
 
@@ -66,19 +67,19 @@ int main() {
     // Paper's 2-D advisor: CPU only (memory pinned by the experiment, I/O
     // pinned because M = 2 cannot see it).
     advisor::AdvisorOptions m2;
-    m2.enumerator.allocate[simvm::kMemDim] = false;
-    m2.enumerator.allocate[simvm::kIoDim] = false;
+    m2.search.enumerator.allocate[simvm::kMemDim] = false;
+    m2.search.enumerator.allocate[simvm::kIoDim] = false;
     advisor::VirtualizationDesignAdvisor adv2(tb.machine(), tenants, m2);
-    advisor::GreedyEnumerator greedy2(m2.enumerator);
+    advisor::GreedyEnumerator greedy2(m2.search.enumerator);
     auto rec2 = greedy2.Run(adv2.estimator(), adv2.QosList(), init);
     double imp2 = (t_def - tb.TrueTotalSeconds(tenants, rec2.allocations)) /
                   t_def;
 
     // 3-D advisor: CPU and I/O bandwidth under control.
     advisor::AdvisorOptions m3;
-    m3.enumerator.allocate[simvm::kMemDim] = false;
+    m3.search.enumerator.allocate[simvm::kMemDim] = false;
     advisor::VirtualizationDesignAdvisor adv3(tb.machine(), tenants, m3);
-    advisor::GreedyEnumerator greedy3(m3.enumerator);
+    advisor::GreedyEnumerator greedy3(m3.search.enumerator);
     auto rec3 = greedy3.Run(adv3.estimator(), adv3.QosList(), init);
     double imp3 = (t_def - tb.TrueTotalSeconds(tenants, rec3.allocations)) /
                   t_def;

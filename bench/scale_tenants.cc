@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "advisor/greedy_enumerator.h"
 #include "bench_common.h"
 #include "util/thread_pool.h"
 #include "workload/tpch.h"

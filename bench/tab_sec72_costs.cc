@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "advisor/advisor.h"
+#include "advisor/greedy_enumerator.h"
 #include "advisor/fitted_cost_model.h"
 #include "bench_common.h"
 #include "workload/tpch.h"

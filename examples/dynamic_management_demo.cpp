@@ -30,7 +30,7 @@ int main() {
       tb.MakeTenant(tb.db2_mixed(), tpch(0)),
       tb.MakeTenant(tb.db2_mixed(), tpcc)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
   advisor::DynamicConfigurationManager mgr(&adv, tb.hypervisor());
   mgr.Initialize();

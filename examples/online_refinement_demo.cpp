@@ -25,7 +25,7 @@ int main() {
   std::vector<advisor::Tenant> tenants = {tb.MakeTenant(tb.db2_tpcc(), oltp),
                                           tb.MakeTenant(tb.db2_sf1(), dss)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;  // CPU-only, like §7.8
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;  // CPU-only, like §7.8
   advisor::VirtualizationDesignAdvisor adv(tb.machine(), tenants, opts);
   advisor::OnlineRefinement refine(&adv, tb.hypervisor());
   advisor::RefinementResult res = refine.Run();

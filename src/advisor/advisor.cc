@@ -20,10 +20,11 @@ std::vector<QosSpec> VirtualizationDesignAdvisor::QosList() const {
 }
 
 Recommendation VirtualizationDesignAdvisor::Recommend() {
-  GreedyEnumerator greedy(options_.enumerator);
-  EnumerationResult res = greedy.Run(estimator_.get(), QosList());
+  std::unique_ptr<SearchStrategy> strategy = MakeStrategy();
+  EnumerationResult res = strategy->Run(estimator_.get(), QosList(), {});
 
   Recommendation rec;
+  rec.strategy = std::string(strategy->name());
   rec.allocations = res.allocations;
   rec.estimated_seconds = res.tenant_costs;
   rec.objective = res.objective;

@@ -1,17 +1,20 @@
 // VirtualizationDesignAdvisor: the paper's top-level tool (§4, Figure 3).
 //
-// Wires the calibrated what-if cost estimator to the greedy configuration
-// enumerator and returns an initial static recommendation. Online
-// refinement (§5) and dynamic configuration management (§6) build on the
-// advisor through refinement.h / dynamic_manager.h.
+// Wires the calibrated what-if cost estimator to a pluggable search
+// strategy (SearchSpec selects it; greedy by default) and returns an
+// initial static recommendation. Online refinement (§5) and dynamic
+// configuration management (§6) build on the advisor through
+// refinement.h / dynamic_manager.h and re-enumerate through the same
+// injected strategy.
 #ifndef VDBA_ADVISOR_ADVISOR_H_
 #define VDBA_ADVISOR_ADVISOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "advisor/cost_estimator.h"
-#include "advisor/greedy_enumerator.h"
+#include "advisor/search_strategy.h"
 #include "advisor/tenant.h"
 #include "simvm/hardware.h"
 
@@ -19,7 +22,8 @@ namespace vdba::advisor {
 
 /// Advisor configuration.
 struct AdvisorOptions {
-  EnumeratorOptions enumerator;
+  /// Which search strategy enumerates configurations, and its move grid.
+  SearchSpec search;
   WhatIfEstimatorOptions estimator;
 };
 
@@ -36,6 +40,8 @@ struct Recommendation {
   /// Estimated relative improvement over the default 1/N allocation,
   /// using estimated costs: (T_default - T_advisor) / T_default.
   double estimated_improvement = 0.0;
+  /// Name of the search strategy that produced the recommendation.
+  std::string strategy;
 };
 
 /// The design advisor. Owns the estimator (and with it the tenant list);
@@ -46,12 +52,18 @@ class VirtualizationDesignAdvisor {
                               std::vector<Tenant> tenants,
                               AdvisorOptions options = AdvisorOptions());
 
-  /// Initial static recommendation (§4): greedy enumeration over the
-  /// calibrated what-if estimator.
+  /// Initial static recommendation (§4): the configured search strategy
+  /// enumerating over the calibrated what-if estimator.
   Recommendation Recommend();
 
   /// Estimated total seconds at an arbitrary allocation (for baselines).
   double EstimateTotalSeconds(const std::vector<simvm::ResourceVector>& alloc);
+
+  /// The strategy the options select (refinement and dynamic management
+  /// re-enumerate through this, over their fitted-model estimators).
+  std::unique_ptr<SearchStrategy> MakeStrategy() const {
+    return MakeSearchStrategy(options_.search);
+  }
 
   WhatIfCostEstimator* estimator() { return estimator_.get(); }
   const simvm::PhysicalMachine& machine() const { return machine_; }

@@ -42,8 +42,11 @@ class CostEstimator {
                                  const simvm::ResourceVector& r) = 0;
   virtual int num_tenants() const = 0;
   /// Resource dimensions the estimator models; enumerators size their
-  /// loops and default allocations from this.
-  virtual int num_dims() const { return 2; }
+  /// loops and default allocations from this. Pure virtual on purpose: a
+  /// stale hard-coded default here once silently shrank every enumeration
+  /// loop of estimators that forgot to override it (derive it from the
+  /// machine's ResourceModel where one exists).
+  virtual int num_dims() const = 0;
 
   /// Estimates for a batch of candidate allocations of one tenant.
   /// Semantically identical to calling EstimateSeconds per candidate in

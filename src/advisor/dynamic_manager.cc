@@ -37,8 +37,8 @@ std::vector<simvm::ResourceVector> DynamicConfigurationManager::Enumerate() {
   for (auto& m : models_) model_ptrs.push_back(m.get());
   ModelCostEstimator estimator(model_ptrs, advisor_->estimator(),
                                advisor_->estimator()->num_dims());
-  GreedyEnumerator greedy(advisor_->options().enumerator);
-  return greedy.Run(&estimator, advisor_->QosList()).allocations;
+  std::unique_ptr<SearchStrategy> strategy = advisor_->MakeStrategy();
+  return strategy->Run(&estimator, advisor_->QosList(), {}).allocations;
 }
 
 std::vector<simvm::ResourceVector> DynamicConfigurationManager::Initialize() {
@@ -64,16 +64,21 @@ std::vector<simvm::ResourceVector> DynamicConfigurationManager::Initialize() {
 void DynamicConfigurationManager::RebuildModel(
     int tenant, double observed_actual, const simvm::ResourceVector& observed_at) {
   // Fresh optimizer-based model: probe the estimator across the allocation
-  // range so the new model has intervals and fitting data. (The greedy
+  // range so the new model has intervals and fitting data. (The strategy
   // re-run would also populate the log, but an explicit sweep keeps the
-  // model well-conditioned regardless of where enumeration wanders.)
+  // model well-conditioned regardless of where enumeration wanders.) The
+  // whole sweep goes out as one batch so the estimator can fan it over
+  // its thread pool; probe order matches the old sequential loop, so the
+  // observation log is unchanged.
   WhatIfCostEstimator* est = advisor_->estimator();
-  for (double share = advisor_->options().enumerator.min_share;
-       share <= 1.0 + 1e-9; share += advisor_->options().enumerator.delta) {
+  const EnumeratorOptions& moves = advisor_->options().search.enumerator;
+  std::vector<simvm::ResourceVector> sweep;
+  for (double share = moves.min_share; share <= 1.0 + 1e-9;
+       share += moves.delta) {
     double s = share > 1.0 ? 1.0 : share;
-    est->EstimateSeconds(
-        tenant, simvm::ResourceVector::Uniform(est->num_dims(), s));
+    sweep.push_back(simvm::ResourceVector::Uniform(est->num_dims(), s));
   }
+  est->EstimateBatch(tenant, sweep);
   models_[static_cast<size_t>(tenant)] = std::make_unique<FittedCostModel>(
       FittedCostModel::FromObservations(est->observations(tenant)));
   // One §5.1 refinement step from the post-change observation.
@@ -152,7 +157,7 @@ PeriodResult DynamicConfigurationManager::EndPeriod(
   }
 
   std::vector<simvm::ResourceVector> next = Enumerate();
-  const double tol = advisor_->options().enumerator.delta / 10.0;
+  const double tol = advisor_->options().search.enumerator.delta / 10.0;
   for (int i = 0; i < n; ++i) {
     refinement_converged_[static_cast<size_t>(i)] =
         SameAllocation({next[static_cast<size_t>(i)]},

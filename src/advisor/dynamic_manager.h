@@ -84,6 +84,8 @@ class DynamicConfigurationManager {
   void RebuildModel(int tenant, double observed_actual,
                     const simvm::ResourceVector& observed_at);
 
+  /// Re-enumerates through the advisor's injected SearchStrategy over the
+  /// current fitted models (what-if fallback for discarded ones).
   std::vector<simvm::ResourceVector> Enumerate();
 
   VirtualizationDesignAdvisor* advisor_;

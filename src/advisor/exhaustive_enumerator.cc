@@ -54,6 +54,12 @@ void ProductOverDims(
 StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
                                         const EnumeratorOptions& options,
                                         int dims) {
+  return ExhaustiveSearchBatched(n, BatchedObjective(f), options, dims);
+}
+
+StatusOr<SearchResult> ExhaustiveSearchBatched(
+    int n, const BatchAllocationObjective& f, const EnumeratorOptions& options,
+    int dims, size_t batch_size) {
   if (n < 1) return Status::InvalidArgument("need at least one tenant");
   if (n > 4) {
     return Status::InvalidArgument(
@@ -61,6 +67,7 @@ StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
   }
   VDBA_CHECK_GT(dims, 0);
   VDBA_CHECK_LE(dims, simvm::kMaxResourceDims);
+  VDBA_CHECK_GT(batch_size, 0u);
   SearchResult best;
   best.objective = std::numeric_limits<double>::infinity();
 
@@ -83,16 +90,31 @@ StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
     }
   }
 
+  // Walk the grid in chunks: candidates accumulate into `pending` and go
+  // to the objective batch_size at a time (one EstimateMany fan-out per
+  // chunk under EstimatorObjective). Scanning each chunk in grid order
+  // keeps the first-minimum-wins tie-break of the sequential walk.
+  std::vector<std::vector<simvm::ResourceVector>> pending;
+  pending.reserve(batch_size);
+  auto flush = [&] {
+    if (pending.empty()) return;
+    std::vector<double> objs = f(pending);
+    for (size_t k = 0; k < pending.size(); ++k) {
+      ++best.evaluations;
+      if (objs[k] < best.objective) {
+        best.objective = objs[k];
+        best.allocations = std::move(pending[k]);
+      }
+    }
+    pending.clear();
+  };
   std::vector<simvm::ResourceVector> alloc(
       static_cast<size_t>(n), simvm::ResourceVector::Uniform(dims, 1.0 / n));
   ProductOverDims(options_per_dim, 0, n, &alloc, [&] {
-    double obj = f(alloc);
-    ++best.evaluations;
-    if (obj < best.objective) {
-      best.objective = obj;
-      best.allocations = alloc;
-    }
+    pending.push_back(alloc);
+    if (pending.size() >= batch_size) flush();
   });
+  flush();
   if (best.allocations.empty()) {
     return Status::Infeasible("no feasible grid allocation");
   }

@@ -7,6 +7,9 @@
 // optimizer extends the comparison to larger N (multi-start hill climbing
 // with the same delta moves), which EXPERIMENTS.md documents as the
 // stand-in for the paper's brute-force sweeps. Both are dimension-generic.
+// Callers that want these behind the pipeline's common interface should
+// use ExhaustiveStrategy / LocalSearchStrategy (search_strategy.h), which
+// wrap the free functions via EstimatorObjective.
 #ifndef VDBA_ADVISOR_EXHAUSTIVE_ENUMERATOR_H_
 #define VDBA_ADVISOR_EXHAUSTIVE_ENUMERATOR_H_
 
@@ -52,10 +55,18 @@ struct SearchResult {
 /// Enumerates every grid allocation (step = options.delta, shares >=
 /// options.min_share, sums <= 1 per resource) for N tenants over `dims`
 /// resource dimensions and returns the minimum. Exponential in N * dims;
-/// rejects N > 4.
+/// rejects N > 4. The scalar overload evaluates candidates one by one;
+/// the batched overload hands the grid to `f` in `batch_size` chunks
+/// (pair it with EstimatorObjective so a parallel estimator fans each
+/// chunk's cross-tenant probes out at once). Both visit the grid in the
+/// same order and break objective ties toward the earlier candidate.
 StatusOr<SearchResult> ExhaustiveSearch(int n, const AllocationObjective& f,
                                         const EnumeratorOptions& options,
                                         int dims = 2);
+
+StatusOr<SearchResult> ExhaustiveSearchBatched(
+    int n, const BatchAllocationObjective& f, const EnumeratorOptions& options,
+    int dims = 2, size_t batch_size = 512);
 
 /// Multi-start hill climbing with single-delta moves (the same move set as
 /// the greedy enumerator) from `starts`; returns the best local optimum.

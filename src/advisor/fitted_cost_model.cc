@@ -171,4 +171,35 @@ double ModelCostEstimator::EstimateSeconds(int tenant,
   return fallback_->EstimateSeconds(tenant, r);
 }
 
+std::vector<double> ModelCostEstimator::EstimateMany(
+    std::span<const TenantAllocation> batch) {
+  ++many_calls_;
+  many_probes_ += static_cast<long>(batch.size());
+
+  // Split off the probes of model-less tenants so the fallback sees them
+  // as one batch (its own EstimateMany may fan out). Relative order is
+  // preserved, so fallback-side cache/observation state matches the
+  // equivalent sequential run.
+  std::vector<TenantAllocation> fallback_probes;
+  std::vector<size_t> fallback_slots;
+  std::vector<double> out(batch.size(), 0.0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const FittedCostModel* m = models_[static_cast<size_t>(batch[i].tenant)];
+    if (m != nullptr) {
+      out[i] = m->Eval(batch[i].r);
+    } else {
+      fallback_probes.push_back(batch[i]);
+      fallback_slots.push_back(i);
+    }
+  }
+  if (!fallback_probes.empty()) {
+    VDBA_CHECK(fallback_ != nullptr);
+    std::vector<double> ests = fallback_->EstimateMany(fallback_probes);
+    for (size_t k = 0; k < fallback_slots.size(); ++k) {
+      out[fallback_slots[k]] = ests[k];
+    }
+  }
+  return out;
+}
+
 }  // namespace vdba::advisor

@@ -84,10 +84,26 @@ class ModelCostEstimator : public CostEstimator {
   int num_tenants() const override { return static_cast<int>(models_.size()); }
   int num_dims() const override { return dims_; }
 
+  /// Cross-tenant batch over the fitted models. Model-backed probes are
+  /// closed-form (no thread pool needed); probes of model-less tenants are
+  /// forwarded to `fallback` as ONE sub-batch in original order, so a
+  /// parallel what-if fallback still gets its cross-tenant fan-out. The
+  /// counters below let refinement tests assert that the §5 probe loops
+  /// actually batch instead of estimating tenant-by-tenant.
+  std::vector<double> EstimateMany(
+      std::span<const TenantAllocation> batch) override;
+
+  /// Number of EstimateMany fan-outs served.
+  long many_calls() const { return many_calls_; }
+  /// Total probes served through EstimateMany.
+  long many_probes() const { return many_probes_; }
+
  private:
   std::vector<const FittedCostModel*> models_;
   CostEstimator* fallback_;
   int dims_;
+  long many_calls_ = 0;
+  long many_probes_ = 0;
 };
 
 }  // namespace vdba::advisor

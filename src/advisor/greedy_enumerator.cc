@@ -246,16 +246,14 @@ EnumerationResult GreedyEnumerator::Run(
     ++result.iterations;
   }
 
-  result.objective = 0.0;
-  result.tenant_costs.resize(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    double unweighted =
-        estimator->EstimateSeconds(i, result.allocations[static_cast<size_t>(i)]);
-    result.tenant_costs[static_cast<size_t>(i)] = unweighted;
-    result.objective += qos[static_cast<size_t>(i)].gain_factor * unweighted;
-    if (!satisfies_limit(i, unweighted)) result.violated_qos.push_back(i);
-  }
-  return result;
+  // Shared finalization (costs / objective / QoS verdicts) so greedy can
+  // never disagree with the other strategies about what they mean; the
+  // full-machine reference probes replay from the warmup's cache entries.
+  EnumerationResult finalized =
+      FinalizeEnumeration(estimator, qos, std::move(result.allocations));
+  finalized.iterations = result.iterations;
+  finalized.converged = result.converged;
+  return finalized;
 }
 
 }  // namespace vdba::advisor

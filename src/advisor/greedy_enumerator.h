@@ -1,4 +1,5 @@
-// Greedy configuration enumeration (paper §4.5, Figure 11).
+// Greedy configuration enumeration (paper §4.5, Figure 11) — the default
+// SearchStrategy.
 //
 // Starts from equal 1/N shares and repeatedly shifts a delta share of one
 // resource from the workload that suffers least to the workload that gains
@@ -14,41 +15,31 @@
 #ifndef VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
 #define VDBA_ADVISOR_GREEDY_ENUMERATOR_H_
 
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "advisor/allocation.h"
 #include "advisor/cost_estimator.h"
 #include "advisor/qos.h"
+#include "advisor/search_strategy.h"
 #include "simvm/resource_vector.h"
 
 namespace vdba::advisor {
 
-/// Result of one enumeration run.
-struct EnumerationResult {
-  std::vector<simvm::ResourceVector> allocations;
-  /// Objective value: sum_i G_i * Cost(W_i, R_i), in estimated seconds.
-  double objective = 0.0;
-  /// Unweighted per-tenant estimated costs at the final allocation.
-  std::vector<double> tenant_costs;
-  int iterations = 0;
-  bool converged = false;
-  /// Tenants whose degradation limit could not be satisfied (best-effort
-  /// allocation still returned).
-  std::vector<int> violated_qos;
-};
-
 /// Figure-11 greedy search.
-class GreedyEnumerator {
+class GreedyEnumerator : public SearchStrategy {
  public:
   explicit GreedyEnumerator(EnumeratorOptions options = EnumeratorOptions())
       : options_(std::move(options)) {}
 
   /// Runs the search. `qos[i]` applies to tenant i; `initial` overrides the
   /// default equal-shares starting point (pass empty for 1/N).
-  EnumerationResult Run(CostEstimator* estimator,
-                        const std::vector<QosSpec>& qos,
-                        std::vector<simvm::ResourceVector> initial = {}) const;
+  EnumerationResult Run(
+      CostEstimator* estimator, const std::vector<QosSpec>& qos,
+      std::vector<simvm::ResourceVector> initial = {}) const override;
+
+  std::string_view name() const override { return "greedy"; }
 
   const EnumeratorOptions& options() const { return options_; }
 

@@ -45,18 +45,36 @@ RefinementResult OnlineRefinement::Run() {
   }
 
   const std::vector<QosSpec> qos = advisor_->QosList();
-  const double tol = advisor_->options().enumerator.delta / 10.0;
+  const double tol = advisor_->options().search.enumerator.delta / 10.0;
+  const int dims = advisor_->estimator()->num_dims();
+  const std::unique_ptr<SearchStrategy> strategy = advisor_->MakeStrategy();
+  std::vector<const FittedCostModel*> model_ptrs;
+  model_ptrs.reserve(static_cast<size_t>(n));
+  for (auto& m : models_) model_ptrs.push_back(m.get());
 
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
     RefinementIteration log;
     log.allocations = alloc;
+
+    // Model estimates for this iteration's deployment in one cross-tenant
+    // fan-out (each tenant's update below only touches its own model, so
+    // probing everything up front is identical to probing in the loop).
+    ModelCostEstimator probe_estimator(model_ptrs, nullptr, dims);
+    std::vector<TenantAllocation> probes;
+    probes.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      probes.push_back(TenantAllocation{i, alloc[static_cast<size_t>(i)]});
+    }
+    log.estimated_seconds = probe_estimator.EstimateMany(probes);
+    result.model_fanouts += probe_estimator.many_calls();
+    result.model_probes += probe_estimator.many_probes();
+
     // Deploy `alloc`, observe actual costs, refine models.
     for (int i = 0; i < n; ++i) {
       const Tenant& t = advisor_->estimator()->tenants()[static_cast<size_t>(i)];
       const simvm::ResourceVector& r = alloc[static_cast<size_t>(i)];
-      double est = models_[static_cast<size_t>(i)]->Eval(r);
+      double est = log.estimated_seconds[static_cast<size_t>(i)];
       double act = hypervisor_->RunWorkload(*t.engine, t.workload, r);
-      log.estimated_seconds.push_back(est);
       log.actual_seconds.push_back(act);
 
       bool refit =
@@ -76,14 +94,13 @@ RefinementResult OnlineRefinement::Run() {
     result.history.push_back(std::move(log));
     result.iterations = iter;
 
-    // Re-run the enumerator over the refined models (no optimizer calls).
-    std::vector<const FittedCostModel*> model_ptrs;
-    model_ptrs.reserve(static_cast<size_t>(n));
-    for (auto& m : models_) model_ptrs.push_back(m.get());
-    ModelCostEstimator estimator(model_ptrs, nullptr,
-                                 advisor_->estimator()->num_dims());
-    GreedyEnumerator greedy(advisor_->options().enumerator);
-    EnumerationResult enumerated = greedy.Run(&estimator, qos);
+    // Re-enumerate through the injected strategy over the refined models
+    // (no optimizer calls; the strategy's frontiers batch through
+    // EstimateMany on the model estimator).
+    ModelCostEstimator estimator(model_ptrs, nullptr, dims);
+    EnumerationResult enumerated = strategy->Run(&estimator, qos, {});
+    result.model_fanouts += estimator.many_calls();
+    result.model_probes += estimator.many_probes();
 
     if (SameAllocation(enumerated.allocations, alloc, tol)) {
       result.converged = true;

@@ -3,9 +3,13 @@
 //
 // After the initial recommendation is deployed, each iteration measures
 // the actual completion time of every workload, scales (or refits) the
-// fitted cost models by Act/Est, and re-runs the configuration enumerator
-// over the refined models (no optimizer calls). Iterations stop when the
-// recommendation stops changing or the iteration cap is reached.
+// fitted cost models by Act/Est, and re-enumerates through the advisor's
+// injected SearchStrategy over the refined models (no optimizer calls).
+// Every model probe — the per-iteration Est values and the strategy's
+// whole move frontier — goes through CostEstimator::EstimateMany on a
+// ModelCostEstimator, so the §5 path gets the same cross-tenant fan-out
+// as the enumerators. Iterations stop when the recommendation stops
+// changing or the iteration cap is reached.
 #ifndef VDBA_ADVISOR_REFINEMENT_H_
 #define VDBA_ADVISOR_REFINEMENT_H_
 
@@ -38,6 +42,12 @@ struct RefinementResult {
   int iterations = 0;
   bool converged = false;
   std::vector<RefinementIteration> history;
+  /// Fitted-model probe accounting: EstimateMany fan-outs issued against
+  /// the ModelCostEstimator and the probes they carried. Fan-outs being
+  /// far fewer than probes is the proof the §5 loops batch across tenants
+  /// instead of estimating tenant-by-tenant.
+  long model_fanouts = 0;
+  long model_probes = 0;
 };
 
 /// Drives §5 refinement on top of an advisor and a hypervisor.

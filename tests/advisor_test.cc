@@ -67,7 +67,7 @@ TEST_F(AdvisorTest, GreedyWithinFivePercentOfExhaustive) {
            adv.estimator()->EstimateSeconds(1, a[1]);
   };
   auto optimal =
-      ExhaustiveSearch(2, objective, adv.options().enumerator);
+      ExhaustiveSearch(2, objective, adv.options().search.enumerator);
   ASSERT_TRUE(optimal.ok());
   double greedy_obj = rec.estimated_seconds[0] + rec.estimated_seconds[1];
   EXPECT_LE(greedy_obj, optimal->objective * 1.05);

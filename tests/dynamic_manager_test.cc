@@ -30,7 +30,7 @@ class DynamicManagerTest : public ::testing::Test {
   std::unique_ptr<VirtualizationDesignAdvisor> MakeAdvisor(
       const simdb::Workload& w0, const simdb::Workload& w1) {
     AdvisorOptions opts;
-    opts.enumerator.allocate[simvm::kMemDim] = false;
+    opts.search.enumerator.allocate[simvm::kMemDim] = false;
     std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_mixed(), w0),
                                    tb().MakeTenant(tb().db2_mixed(), w1)};
     return std::make_unique<VirtualizationDesignAdvisor>(tb().machine(),

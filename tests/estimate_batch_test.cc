@@ -108,6 +108,7 @@ TEST_F(EstimateBatchTest, BaseClassDefaultIsSequential) {
       return 1.0 / r.cpu_share() + 2.0 / r.mem_share();
     }
     int num_tenants() const override { return 1; }
+    int num_dims() const override { return 2; }
   };
   Synthetic s;
   // Distinguishable values so swapped or mis-indexed results would fail.

@@ -166,6 +166,7 @@ TEST_F(EstimateManyTest, BaseClassDefaultIsSequential) {
       return (tenant + 1) / r.cpu_share() + 2.0 / r.mem_share();
     }
     int num_tenants() const override { return 2; }
+    int num_dims() const override { return 2; }
   };
   Synthetic s;
   std::vector<TenantAllocation> batch = {{0, {0.5, 0.5}}, {1, {0.5, 0.5}}};
@@ -206,6 +207,52 @@ TEST_F(EstimateManyTest, GreedyEnumerationIdenticalBatchedVsSequential) {
     EXPECT_EQ(batched.observations(t).size(),
               sequential.observations(t).size());
   }
+}
+
+TEST_F(EstimateManyTest, SetWorkloadInvalidatesOnlyThatTenantAfterFanOut) {
+  // Regression: after a cross-tenant EstimateMany fan-out populated every
+  // tenant's cache and observation log, SetWorkload(t) must wipe tenant
+  // t's state completely — and nobody else's.
+  WhatIfCostEstimator est(tb_.machine(), tenants_);
+  est.EstimateMany(Frontier());
+  const size_t obs0 = est.observations(0).size();
+  const size_t obs1 = est.observations(1).size();
+  const size_t obs2 = est.observations(2).size();
+  ASSERT_GT(obs1, 0u);
+  const double t1_before = est.EstimateSeconds(1, {0.5, 0.5});
+  const long calls_before = est.optimizer_calls();
+  const long hits_before = est.cache_hits();
+
+  simdb::Workload heavier;
+  heavier.AddStatement(workload::TpchQuery(tb_.tpch_sf1(), 17), 30.0);
+  est.SetWorkload(1, heavier);
+
+  // Tenant 1's log is gone; the neighbours' are untouched.
+  EXPECT_TRUE(est.observations(1).empty());
+  EXPECT_EQ(est.observations(0).size(), obs0);
+  EXPECT_EQ(est.observations(2).size(), obs2);
+
+  // Re-probing the whole frontier: tenant 1's probes are cache misses
+  // again (fresh optimizer calls under the new workload), the other
+  // tenants' replay purely from cache.
+  std::vector<TenantAllocation> frontier = Frontier();
+  size_t tenant1_distinct = 0;
+  est.EstimateMany(frontier);
+  tenant1_distinct = est.observations(1).size();
+  EXPECT_GT(tenant1_distinct, 0u);
+  EXPECT_EQ(est.optimizer_calls() - calls_before,
+            static_cast<long>(tenant1_distinct) *
+                static_cast<long>(heavier.statements.size()));
+  // Every non-tenant-1 probe of the frontier was a cache hit.
+  EXPECT_EQ(est.cache_hits() - hits_before,
+            static_cast<long>(frontier.size()) -
+                static_cast<long>(tenant1_distinct));
+  EXPECT_EQ(est.observations(0).size(), obs0);
+  EXPECT_EQ(est.observations(2).size(), obs2);
+
+  // And the invalidation is semantic, not just bookkeeping: the heavier
+  // workload estimates heavier.
+  EXPECT_GT(est.EstimateSeconds(1, {0.5, 0.5}), t1_before);
 }
 
 TEST(ThreadPoolOrderTest, ParallelForOrderCoversEveryIndexOnce) {

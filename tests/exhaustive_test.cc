@@ -109,6 +109,7 @@ TEST(LocalSearchTest, EstimatorObjectiveFansFrontierThroughEstimateMany) {
       return alpha[tenant] / r.cpu_share() + 1.0 / r.mem_share();
     }
     int num_tenants() const override { return 2; }
+    int num_dims() const override { return 2; }
     std::vector<double> EstimateMany(
         std::span<const TenantAllocation> batch) override {
       ++fanouts;

@@ -108,6 +108,7 @@ TEST(ModelCostEstimatorTest, DelegatesToModelsAndFallback) {
       return 123.0;
     }
     int num_tenants() const override { return 2; }
+    int num_dims() const override { return 2; }
   } fallback;
 
   ModelCostEstimator est({&model, nullptr}, &fallback);

@@ -28,6 +28,7 @@ class SyntheticEstimator : public CostEstimator {
   int num_tenants() const override {
     return static_cast<int>(alpha_cpu_.size());
   }
+  int num_dims() const override { return 2; }
   long calls() const { return calls_; }
 
  private:

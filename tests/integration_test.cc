@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "advisor/dynamic_manager.h"
+#include "advisor/greedy_enumerator.h"
 #include "advisor/refinement.h"
 #include "scenario/scenario.h"
 #include "workload/generator.h"
@@ -68,9 +69,9 @@ TEST(IntegrationTest, RandomMixesNeverLoseToDefault) {
           tb().MakeTenant(tb().db2_sf1(), mixes[static_cast<size_t>(i)]));
     }
     advisor::AdvisorOptions aopts;
-    aopts.enumerator.allocate[simvm::kMemDim] = false;
+    aopts.search.enumerator.allocate[simvm::kMemDim] = false;
     VirtualizationDesignAdvisor adv(tb().machine(), tenants, aopts);
-    advisor::GreedyEnumerator greedy(aopts.enumerator);
+    advisor::GreedyEnumerator greedy(aopts.search.enumerator);
     std::vector<simvm::ResourceVector> init(
         static_cast<size_t>(n),
         simvm::ResourceVector{1.0 / n, tb().CpuExperimentMemShare()});
@@ -93,7 +94,7 @@ TEST(IntegrationTest, FullPipelineWithRefinementBeatsAdvisorAlone) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_tpcc(), tpcc),
                                  tb().MakeTenant(tb().db2_sf1(), tpch)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   advisor::OnlineRefinement refine(&adv, tb().hypervisor());
   advisor::RefinementResult res = refine.Run();
@@ -118,7 +119,7 @@ TEST(IntegrationTest, DynamicManagementSurvivesWorkloadSwap) {
       tb().MakeTenant(tb().db2_mixed(), tpch_units(0)),
       tb().MakeTenant(tb().db2_mixed(), tpcc)};
   advisor::AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   advisor::DynamicConfigurationManager mgr(&adv, tb().hypervisor());
   mgr.Initialize();

@@ -149,7 +149,7 @@ TEST_P(TenantCountTest, RecommendationValidForNTenants) {
     tenants.push_back(tb().MakeTenant(tb().db2_sf1(), w));
   }
   AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   Recommendation rec = adv.Recommend();
   ASSERT_EQ(rec.allocations.size(), static_cast<size_t>(n));

@@ -34,7 +34,7 @@ TEST_F(RefinementTest, AccurateModelsConvergeImmediately) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_sf1(), w1),
                                  tb().MakeTenant(tb().db2_sf1(), w2)};
   AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   OnlineRefinement refine(&adv, tb().hypervisor());
   RefinementResult res = refine.Run();
@@ -52,7 +52,7 @@ TEST_F(RefinementTest, CorrectsTpccCpuUnderestimation) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_tpcc(), tpcc),
                                  tb().MakeTenant(tb().db2_sf1(), tpch)};
   AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   OnlineRefinement refine(&adv, tb().hypervisor());
   RefinementResult res = refine.Run();
@@ -78,7 +78,7 @@ TEST_F(RefinementTest, HistoryRecordsEstimatesAndActuals) {
   std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_tpcc(), tpcc),
                                  tb().MakeTenant(tb().db2_sf1(), tpch)};
   AdvisorOptions opts;
-  opts.enumerator.allocate[simvm::kMemDim] = false;
+  opts.search.enumerator.allocate[simvm::kMemDim] = false;
   VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
   OnlineRefinement refine(&adv, tb().hypervisor());
   RefinementResult res = refine.Run();
@@ -123,6 +123,47 @@ TEST_F(RefinementTest, MultiResourceRefinementFindsSortheapValue) {
   EXPECT_GE(post, pre - 0.01);
   // §7.9: converges within ~5 iterations.
   EXPECT_LE(res.iterations, 8);
+}
+
+TEST_F(RefinementTest, ModelProbesGoThroughEstimateManyFanOuts) {
+  // The §5 probe loops must batch: every iteration issues one fan-out for
+  // its per-tenant Est values plus one per strategy frontier, so the
+  // fan-out count stays far below the probe count (tenant-by-tenant
+  // estimation would make them equal).
+  simdb::Workload w1, w2;
+  w1.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18), 5.0);
+  w2.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 21), 10.0);
+  std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_sf1(), w1),
+                                 tb().MakeTenant(tb().db2_sf1(), w2)};
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants);
+  OnlineRefinement refine(&adv, tb().hypervisor());
+  RefinementResult res = refine.Run();
+  EXPECT_GT(res.model_fanouts, 0);
+  EXPECT_GT(res.model_probes, res.model_fanouts);
+  // At least the per-iteration estimate batch and one enumeration fan-out
+  // per iteration; far fewer fan-outs than probes proves the batching.
+  EXPECT_GE(res.model_fanouts, 2L * res.iterations);
+  EXPECT_LE(res.model_fanouts, res.model_probes / 2);
+}
+
+TEST_F(RefinementTest, RefinementRunsThroughInjectedStrategy) {
+  // Swapping the advisor's strategy swaps refinement's re-enumeration too
+  // — the §5 loop has no hard-coded enumerator left.
+  simdb::Workload w1, w2;
+  w1.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18), 5.0);
+  w2.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 21), 10.0);
+  std::vector<Tenant> tenants = {tb().MakeTenant(tb().db2_sf1(), w1),
+                                 tb().MakeTenant(tb().db2_sf1(), w2)};
+  AdvisorOptions opts;
+  opts.search.strategy = "greedy_refine";
+  VirtualizationDesignAdvisor adv(tb().machine(), tenants, opts);
+  OnlineRefinement refine(&adv, tb().hypervisor());
+  RefinementResult res = refine.Run();
+  EXPECT_TRUE(res.converged);
+  ASSERT_EQ(res.final_allocations.size(), 2u);
+  double cpu_sum = res.final_allocations[0].cpu_share() +
+                   res.final_allocations[1].cpu_share();
+  EXPECT_LE(cpu_sum, 1.0 + 1e-9);
 }
 
 }  // namespace
