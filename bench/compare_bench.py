@@ -33,7 +33,10 @@ Refreshing the snapshot after an intentional change::
     python3 bench/compare_bench.py bench_results bench/baseline --snapshot
 
 ``--snapshot`` rewrites the baseline from the fresh results, keeping only
-gateable metrics (the volatile per-run ``wall_seconds`` is dropped).
+gateable metrics (the volatile per-run ``wall_seconds`` is dropped) plus
+the ``hardware_threads`` provenance metric, which documents how parallel
+the snapshot's source host was. See docs/benchmarks.md for the full
+harness / schema / refresh walkthrough.
 """
 
 from __future__ import annotations
@@ -46,6 +49,10 @@ import sys
 HIGHER_BETTER_TOKENS = ("speedup", "improvement", "identical", "wins")
 # Matched as name *segments* so `sequential_ms_n16` gates like `foo_ms`.
 LOWER_BETTER_SEGMENTS = ("ms", "seconds", "sec", "latency")
+# Never gated, but kept by --snapshot as provenance: records how parallel
+# the snapshot's source host was (speedup floors from a 1-core host are
+# conservative; multi-core CI only clears them more easily).
+PROVENANCE_METRICS = ("hardware_threads",)
 
 
 def is_latency(name: str) -> bool:
@@ -83,7 +90,7 @@ def snapshot(results_dir: pathlib.Path, baseline_dir: pathlib.Path) -> int:
         gated = {
             name: value
             for name, value in load_metrics(path).items()
-            if direction(name) != "none"
+            if direction(name) != "none" or name in PROVENANCE_METRICS
         }
         if not gated:
             continue

@@ -70,7 +70,9 @@ std::vector<advisor::Tenant> MakeTenants(const scenario::Testbed& tb, int n) {
 advisor::EnumeratorOptions SweepOptions() {
   advisor::EnumeratorOptions opts;
   opts.min_share = 0.01;
-  for (int d = 0; d < 3; ++d) {
+  // Schedules for all four known dimensions; a machine exposing fewer
+  // simply never reads the higher slots.
+  for (int d = 0; d < simvm::kMaxResourceDims; ++d) {
     opts.deltas[static_cast<size_t>(d)] = {0.05, 0.02};
   }
   return opts;
@@ -81,6 +83,58 @@ double MedianOfThreeSeconds(const std::function<double()>& run) {
   double lo = std::min(a, std::min(b, c));
   double hi = std::max(a, std::max(b, c));
   return a + b + c - lo - hi;
+}
+
+/// One batched-vs-sequential comparison on a tenant set.
+struct PairTiming {
+  double seq_seconds = 0.0;
+  double batch_seconds = 0.0;
+  int iterations = 0;
+  bool identical = false;
+  double speedup() const {
+    return batch_seconds > 0.0 ? seq_seconds / batch_seconds : 0.0;
+  }
+};
+
+/// Times the greedy enumerator over `tenants` with the batched estimator
+/// and with the sequential baseline (median of three runs each; a fresh
+/// estimator per timed run, so the speedup is about uncached what-if
+/// probes and both paths do identical optimizer work) and checks the
+/// final allocations are bit-identical. `warm_up` interleaves one
+/// untimed pair first to warm allocators and catalog caches.
+PairTiming TimeBatchedVsSequential(const simvm::PhysicalMachine& machine,
+                                   const std::vector<advisor::Tenant>& tenants,
+                                   const advisor::GreedyEnumerator& greedy,
+                                   bool warm_up) {
+  std::vector<advisor::QosSpec> qos(tenants.size());
+  advisor::EnumerationResult seq_result, batch_result;
+  auto run_sequential = [&] {
+    SequentialWhatIfEstimator est(machine, tenants);
+    auto start = std::chrono::steady_clock::now();
+    seq_result = greedy.Run(&est, qos);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  auto run_batched = [&] {
+    advisor::WhatIfCostEstimator est(machine, tenants);
+    auto start = std::chrono::steady_clock::now();
+    batch_result = greedy.Run(&est, qos);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  if (warm_up) {
+    run_sequential();
+    run_batched();
+  }
+  PairTiming timing;
+  timing.seq_seconds = MedianOfThreeSeconds(run_sequential);
+  timing.batch_seconds = MedianOfThreeSeconds(run_batched);
+  timing.iterations = batch_result.iterations;
+  timing.identical = seq_result.iterations == batch_result.iterations &&
+                     seq_result.allocations == batch_result.allocations;
+  return timing;
 }
 
 }  // namespace
@@ -108,64 +162,45 @@ int main() {
   double speedup_n16 = 0.0;
   for (int n : {2, 4, 8, 16, 32}) {
     std::vector<advisor::Tenant> tenants = MakeTenants(tb, n);
-    std::vector<advisor::QosSpec> qos(static_cast<size_t>(n));
-
-    advisor::EnumerationResult seq_result, batch_result;
-    // Fresh estimator per timed run: the speedup is about uncached what-if
-    // probes (the advisor's first pass over a new tenant set), and both
-    // paths must do identical optimizer work.
-    auto run_sequential = [&] {
-      SequentialWhatIfEstimator est(tb.machine(), tenants);
-      auto start = std::chrono::steady_clock::now();
-      seq_result = greedy.Run(&est, qos);
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           start)
-          .count();
-    };
-    auto run_batched = [&] {
-      advisor::WhatIfCostEstimator est(tb.machine(), tenants);
-      auto start = std::chrono::steady_clock::now();
-      batch_result = greedy.Run(&est, qos);
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           start)
-          .count();
-    };
-    // Interleave once untimed to warm allocators and catalog caches.
-    if (n == 2) {
-      run_sequential();
-      run_batched();
-    }
-    double seq_seconds = MedianOfThreeSeconds(run_sequential);
-    double batch_seconds = MedianOfThreeSeconds(run_batched);
-
-    bool identical =
-        seq_result.iterations == batch_result.iterations &&
-        seq_result.allocations.size() == batch_result.allocations.size();
-    if (identical) {
-      for (size_t i = 0; i < seq_result.allocations.size(); ++i) {
-        if (!(seq_result.allocations[i] == batch_result.allocations[i])) {
-          identical = false;
-          break;
-        }
-      }
-    }
-    all_identical = all_identical && identical;
-
-    double speedup =
-        batch_seconds > 0.0 ? seq_seconds / batch_seconds : 0.0;
-    if (n == 16) speedup_n16 = speedup;
-    t.AddRow({std::to_string(n), TablePrinter::Num(seq_seconds * 1e3, 1),
-              TablePrinter::Num(batch_seconds * 1e3, 1),
-              TablePrinter::Num(speedup, 2) + "x",
-              std::to_string(batch_result.iterations),
-              identical ? "yes" : "NO (bug)"});
+    PairTiming timing =
+        TimeBatchedVsSequential(tb.machine(), tenants, greedy,
+                                /*warm_up=*/n == 2);
+    all_identical = all_identical && timing.identical;
+    if (n == 16) speedup_n16 = timing.speedup();
+    t.AddRow({std::to_string(n),
+              TablePrinter::Num(timing.seq_seconds * 1e3, 1),
+              TablePrinter::Num(timing.batch_seconds * 1e3, 1),
+              TablePrinter::Num(timing.speedup(), 2) + "x",
+              std::to_string(timing.iterations),
+              timing.identical ? "yes" : "NO (bug)"});
 
     const std::string suffix = "_n" + std::to_string(n);
-    RecordMetric("sequential_ms" + suffix, seq_seconds * 1e3);
-    RecordMetric("batched_ms" + suffix, batch_seconds * 1e3);
-    RecordMetric("greedy_batch_speedup" + suffix, speedup);
+    RecordMetric("sequential_ms" + suffix, timing.seq_seconds * 1e3);
+    RecordMetric("batched_ms" + suffix, timing.batch_seconds * 1e3);
+    RecordMetric("greedy_batch_speedup" + suffix, timing.speedup());
   }
   t.Print();
+
+  // --- M = 4 arm: the network dimension rides the same batched frontier
+  // with zero enumerator/estimator changes. Half the tenants gain a
+  // data-shipping statement so the fourth dimension has something to
+  // arbitrate; batched and sequential must still agree bit-for-bit. ---
+  {
+    simvm::PhysicalMachine m4 = tb.machine();
+    m4.resources = &simvm::ResourceModel::CpuMemIoNet();
+    std::vector<advisor::Tenant> tenants4 = MakeTenants(tb, 8);
+    for (size_t i = 0; i < tenants4.size(); i += 2) {
+      tenants4[i].workload.AddStatement(
+          workload::TpchReplicationExtract(tb.tpch_sf1()), 2.0);
+    }
+    PairTiming timing = TimeBatchedVsSequential(m4, tenants4, greedy,
+                                                /*warm_up=*/false);
+    all_identical = all_identical && timing.identical;
+    RecordMetric("greedy_batch_speedup_m4_n8", timing.speedup());
+    std::printf("M=4 arm (N=8, net-mixed): %.2fx speedup, identical "
+                "allocations: %s\n",
+                timing.speedup(), timing.identical ? "yes" : "NO (bug)");
+  }
 
   RecordMetric("identical_allocations", all_identical ? 1.0 : 0.0);
   RecordMetric("hardware_threads",

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (stdlib only; CI-friendly).
+
+Usage: scripts/check_markdown_links.py FILE.md [FILE.md ...]
+
+Checks, for every ``[text](target)`` and ``[text]: target`` link in the
+given markdown files:
+
+* **relative file links** (``docs/benchmarks.md``, ``../src/foo.h``) —
+  the target must exist on disk, resolved against the linking file's
+  directory; an optional ``#anchor`` must match a heading slug in the
+  target file;
+* **intra-file anchors** (``#resource-dimensions``) — the anchor must
+  match a GitHub-style slug of one of the file's headings;
+* **external links** (``http://``, ``https://``, ``mailto:``) — syntax
+  only, never fetched: CI must not depend on third-party uptime.
+
+Exit status is the number of broken links (0 = all good).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# Inline [text](target) — target ends at the first unescaped ')'.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style "[label]: target" definitions at line start.
+REF_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    content = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in HEADING.finditer(content):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    content = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    targets = [m.group(1) for m in INLINE_LINK.finditer(content)]
+    targets += [m.group(1) for m in REF_LINK.finditer(content)]
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("<"):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:  # intra-file anchor
+            if anchor and anchor not in heading_slugs(path):
+                errors.append(f"{path}: broken anchor '#{anchor}'")
+            continue
+        dest = (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link '{target}' "
+                          f"({dest} does not exist)")
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in heading_slugs(dest):
+                errors.append(f"{path}: broken anchor '{target}' "
+                              f"(no such heading in {dest.name})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    checked = 0
+    for name in argv[1:]:
+        path = pathlib.Path(name)
+        if not path.is_file():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+        checked += 1
+    for error in errors:
+        print(f"BROKEN: {error}", file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

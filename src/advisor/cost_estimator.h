@@ -33,32 +33,65 @@ struct TenantAllocation {
   simvm::ResourceVector r;
 };
 
-/// Abstract estimator: seconds to complete tenant `tenant`'s workload
-/// under allocation `r`.
+/// \brief Abstract cost estimator: the one interface every search
+/// strategy consumes.
+///
+/// An estimator answers "how many seconds would tenant i's workload take
+/// at allocation R?" — by what-if optimization (WhatIfCostEstimator), by
+/// fitted piecewise models (ModelCostEstimator), or by anything a test
+/// fakes. Search strategies must route their probes through the batched
+/// entry points (EstimateMany / EstimateBatch) so a parallel
+/// implementation can fan them out.
 class CostEstimator {
  public:
   virtual ~CostEstimator() = default;
+
+  /// \brief Estimated seconds to complete tenant `tenant`'s workload at
+  /// allocation `r`.
+  ///
+  /// Deterministic: the same (tenant, r, workload) must always yield the
+  /// same value within one estimator instance — enumeration correctness
+  /// (and the bit-identical batched-vs-sequential guarantee) depends on
+  /// it. `r` may carry fewer dimensions than num_dims(); missing
+  /// dimensions are unallocated (share 1.0).
   virtual double EstimateSeconds(int tenant,
                                  const simvm::ResourceVector& r) = 0;
+
+  /// Number of tenants the estimator covers; `tenant` arguments must be
+  /// in [0, num_tenants()).
   virtual int num_tenants() const = 0;
-  /// Resource dimensions the estimator models; enumerators size their
-  /// loops and default allocations from this. Pure virtual on purpose: a
-  /// stale hard-coded default here once silently shrank every enumeration
-  /// loop of estimators that forgot to override it (derive it from the
-  /// machine's ResourceModel where one exists).
+
+  /// \brief Resource dimensions the estimator models (the machine's M).
+  ///
+  /// Enumerators size their move loops and default allocations from this.
+  /// Pure virtual on purpose: a stale hard-coded default here once
+  /// silently shrank every enumeration loop of estimators that forgot to
+  /// override it (derive it from the machine's ResourceModel where one
+  /// exists).
   virtual int num_dims() const = 0;
 
-  /// Estimates for a batch of candidate allocations of one tenant.
-  /// Semantically identical to calling EstimateSeconds per candidate in
-  /// order; implementations may parallelize. The default is sequential.
+  /// \brief Estimates for a batch of candidate allocations of one tenant.
+  ///
+  /// Contract: the returned vector is index-aligned with `candidates` and
+  /// *semantically identical* to calling EstimateSeconds per candidate in
+  /// order — same values, same observable side effects (caches,
+  /// observation logs, counters) in the same order. Implementations may
+  /// parallelize internally as long as that equivalence holds; the base
+  /// implementation is the sequential loop.
   virtual std::vector<double> EstimateBatch(
       int tenant, std::span<const simvm::ResourceVector> candidates);
 
-  /// Estimates for a tenant-tagged batch spanning several tenants — the
-  /// full cross-tenant move frontier of one greedy iteration in a single
-  /// fan-out. Semantically identical to calling EstimateSeconds per item
-  /// in order; implementations may parallelize across tenants as well as
-  /// candidates. The default is sequential.
+  /// \brief Estimates for a tenant-tagged batch spanning several tenants
+  /// — the full cross-tenant move frontier of one greedy iteration in a
+  /// single fan-out.
+  ///
+  /// Contract: index-aligned with `batch` and semantically identical to
+  /// calling EstimateSeconds per item in order; duplicates within the
+  /// batch are allowed (later occurrences behave like repeat lookups).
+  /// Implementations may parallelize across tenants as well as candidates
+  /// provided results and side-effect order match the sequential run
+  /// exactly — allocations produced through a parallel estimator must be
+  /// bit-identical to the sequential ones. The default is sequential.
   virtual std::vector<double> EstimateMany(
       std::span<const TenantAllocation> batch);
 };

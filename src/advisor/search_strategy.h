@@ -56,13 +56,34 @@ struct SearchSpec {
   EnumeratorOptions enumerator;
 };
 
-/// Abstract configuration search: policy over the estimation mechanism.
+/// \brief Abstract configuration search: policy over the estimation
+/// mechanism.
+///
+/// A strategy owns *how* the allocation space is explored; everything
+/// else — what an estimate costs, how many dimensions exist, what the
+/// objective and a QoS violation mean — comes from the CostEstimator and
+/// the shared FinalizeEnumeration helper. Implementations must be
+/// stateless across Run() calls (one instance may serve many runs) and
+/// deterministic: identical (estimator state, qos, initial) inputs yield
+/// identical results. Route every estimate through
+/// CostEstimator::EstimateMany / EstimateBatch (or EstimatorObjective) so
+/// parallel estimators can fan probes out; never call EstimateSeconds in
+/// a loop.
 class SearchStrategy {
  public:
   virtual ~SearchStrategy() = default;
 
-  /// Runs the search. `qos[i]` applies to tenant i; `initial` overrides
-  /// the default equal-shares starting point (pass empty for 1/N).
+  /// \brief Runs the search.
+  /// \param estimator Cost oracle; also fixes the tenant count and the
+  ///   dimensionality M of the search space (estimator->num_dims()).
+  /// \param qos `qos[i]` applies to tenant i; must have one entry per
+  ///   tenant.
+  /// \param initial Starting allocation; pass empty for the default 1/N
+  ///   equal split. Dimensions the options pin keep their `initial`
+  ///   shares.
+  /// \returns Allocations (one per tenant, each with num_dims()
+  ///   dimensions), the gain-weighted objective, per-tenant costs, and
+  ///   the QoS verdicts — see EnumerationResult.
   virtual EnumerationResult Run(
       CostEstimator* estimator, const std::vector<QosSpec>& qos,
       std::vector<simvm::ResourceVector> initial) const = 0;

@@ -179,6 +179,15 @@ double Calibrator::MeasureIoParam(const ResourceVector& vm) {
   return rpp / spp;  // random_page_cost
 }
 
+double Calibrator::MeasureNetParam(const ResourceVector& vm) {
+  double npp = hypervisor_->MeasureNetSecPerPage(vm);
+  simulated_seconds_ += 15.0;
+  if (flavor_ == EngineFlavor::kDb2) return npp * 1000.0;  // net_transfer_ms
+  double spp = hypervisor_->MeasureSeqReadSecPerPage(vm);
+  simulated_seconds_ += 30.0;
+  return npp / spp;  // net_page_cost
+}
+
 StatusOr<CalibrationModel> Calibrator::Calibrate(
     const CalibrationOptions& options) {
   VDBA_CHECK(!options.cpu_shares.empty());
@@ -188,6 +197,41 @@ StatusOr<CalibrationModel> Calibrator::Calibrate(
   double spp = hypervisor_->MeasureSeqReadSecPerPage(options.pinned);
   double rpp = hypervisor_->MeasureRandReadSecPerPage(options.pinned);
   simulated_seconds_ += 30.0 + 45.0;
+
+  // --- Network-transfer parameter (only when the machine rations the
+  // network dimension, or a sweep was explicitly requested — M <= 3
+  // calibrations keep their §7.2 cost accounting untouched): measured
+  // once with the network unallocated (the analytic 1/r_net law), or
+  // fitted over an optional net_shares sweep exactly like the I/O
+  // dimension. The micro-program draws from the hypervisor's dedicated
+  // network noise stream, so the pre-existing measurement sequence stays
+  // bit-identical. PostgreSQL expresses the parameter in page units at io
+  // share 1 (ParamsFor re-scales it with the page unit); DB2 in absolute
+  // ms. ---
+  DimFit net_fit;
+  bool have_net_fit = false;
+  if (options.net_shares.size() >= 2) {
+    std::vector<double> inv_net, net_values;
+    for (double s : options.net_shares) {
+      ResourceVector vm = SweepPoint(options.pinned, simvm::kNetDim, s);
+      double net_sec = hypervisor_->MeasureNetSecPerPage(vm);
+      simulated_seconds_ += 15.0;
+      inv_net.push_back(1.0 / s);
+      net_values.push_back(flavor_ == EngineFlavor::kDb2 ? net_sec * 1000.0
+                                                         : net_sec / spp);
+    }
+    auto net_f = FitLinear(inv_net, net_values);
+    if (!net_f.ok()) return net_f.status();
+    net_fit = DimFit{simvm::kNetDim, *net_f};
+    have_net_fit = true;
+  } else if (hypervisor_->machine().resources->dims() > simvm::kNetDim) {
+    double npp = hypervisor_->MeasureNetSecPerPage(options.pinned);
+    simulated_seconds_ += 15.0;
+    net_fit = flavor_ == EngineFlavor::kDb2
+                  ? DimFit::Inverse(simvm::kNetDim, npp * 1000.0)
+                  : DimFit::Inverse(simvm::kNetDim, npp / spp);
+    have_net_fit = true;
+  }
 
   // --- Optional I/O-bandwidth sweep: fit the device-speed scaling in
   // 1/r_io empirically instead of relying on the analytic 1/share law. ---
@@ -240,6 +284,7 @@ StatusOr<CalibrationModel> Calibrator::Calibrate(
     CalibrationModel model = CalibrationModel::MakePostgres(
         *tuple_fit, *op_fit, *index_fit, rpp / spp, spp);
     if (have_io_sweep) model.SetIoFits(unit_fit, overhead_fit, transfer_fit);
+    if (have_net_fit) model.SetNetFit(net_fit);
     return model;
   }
 
@@ -280,6 +325,7 @@ StatusOr<CalibrationModel> Calibrator::Calibrate(
   CalibrationModel model = CalibrationModel::MakeDb2(
       *cpuspeed_fit, (rpp - spp) * 1000.0, spp * 1000.0, *factor);
   if (have_io_sweep) model.SetIoFits(unit_fit, overhead_fit, transfer_fit);
+  if (have_net_fit) model.SetNetFit(net_fit);
   return model;
 }
 

@@ -9,8 +9,9 @@
 // descriptive optimizer parameters. Per §4.4 it exploits parameter
 // independence: each dimension's describing parameters are swept along
 // that dimension alone with every other dimension pinned — CPU parameters
-// are fitted linearly in 1/(cpu share); device-speed parameters are
-// measured once (and optionally swept along the I/O-bandwidth dimension).
+// are fitted linearly in 1/(cpu share); device-speed and network-transfer
+// parameters are measured once (and optionally swept along the
+// I/O-bandwidth / network-bandwidth dimensions).
 #ifndef VDBA_CALIB_CALIBRATION_H_
 #define VDBA_CALIB_CALIBRATION_H_
 
@@ -33,6 +34,11 @@ struct CalibrationOptions {
   /// rationed) measures once with I/O unallocated and scales analytically
   /// by 1/r_io; two or more entries fit the scaling empirically.
   std::vector<double> io_shares = {};
+  /// Network-bandwidth allocations at which the network-transfer
+  /// parameter is measured. Empty (the default) measures once with the
+  /// network unallocated and scales analytically by 1/r_net; two or more
+  /// entries fit the net DimFit empirically (an M = 4 testbed).
+  std::vector<double> net_shares = {};
   /// Shares of every dimension NOT being swept (§4.4: independence makes
   /// one setting suffice).
   simvm::ResourceVector pinned = {0.5, 0.5};
@@ -58,6 +64,11 @@ class Calibrator {
   /// Point measurement of the flavor's primary I/O parameter:
   /// PostgreSQL random_page_cost or DB2 transfer_rate (ms). Figs. 7-8.
   double MeasureIoParam(const simvm::ResourceVector& vm);
+
+  /// Point measurement of the flavor's network-transfer parameter at an
+  /// arbitrary allocation: PostgreSQL net_page_cost (page units) or DB2
+  /// net_transfer_ms (ms per shipped page). Beyond the paper: M = 4.
+  double MeasureNetParam(const simvm::ResourceVector& vm);
 
   /// Simulated wall-clock seconds consumed by calibration so far (the
   /// §7.2 cost accounting: measured query times plus the nominal runtimes

@@ -19,12 +19,17 @@ simdb::EngineParams CalibrationModel::ParamsFor(const simvm::ResourceVector& r,
     p.cpu_operator_cost = cpu_operator_.Eval(r) * page_scale;
     p.cpu_index_tuple_cost = cpu_index_tuple_.Eval(r) * page_scale;
     p.random_page_cost = random_page_cost_.Eval(r);
+    // Network transfer grows in 1/r_net while the page unit it is priced
+    // in grows in 1/r_io, so the fit (taken at io share 1) re-scales by
+    // the same page factor as the CPU parameters.
+    p.net_page_cost = net_transfer_.Eval(r) * page_scale;
     return simdb::MemoryPolicy::ApplyPg(p, vm_memory_mb);
   }
   simdb::Db2Params p;
   p.cpuspeed_ms_per_instr = cpuspeed_ms_.Eval(r);
   p.overhead_ms = overhead_ms_.Eval(r);
   p.transfer_rate_ms = transfer_rate_ms_.Eval(r);
+  p.net_transfer_ms = net_transfer_.Eval(r);
   return simdb::MemoryPolicy::ApplyDb2(p, vm_memory_mb);
 }
 
@@ -52,6 +57,8 @@ CalibrationModel CalibrationModel::MakeDb2(LinearFit cpuspeed_ms,
   m.cpuspeed_ms_ = DimFit{simvm::kCpuDim, cpuspeed_ms};
   m.overhead_ms_ = DimFit::Inverse(simvm::kIoDim, overhead_ms);
   m.transfer_rate_ms_ = DimFit::Inverse(simvm::kIoDim, transfer_rate_ms);
+  m.net_transfer_ =
+      DimFit::Inverse(simvm::kNetDim, simdb::Db2Params{}.net_transfer_ms);
   m.unit_seconds_ = DimFit::Constant(seconds_per_timeron);
   return m;
 }
@@ -64,6 +71,10 @@ void CalibrationModel::SetIoFits(DimFit unit_seconds, DimFit overhead_ms,
     overhead_ms_ = overhead_ms;
     transfer_rate_ms_ = transfer_rate_ms;
   }
+}
+
+void CalibrationModel::SetNetFit(DimFit net_transfer) {
+  net_transfer_ = net_transfer;
 }
 
 }  // namespace vdba::calib

@@ -10,7 +10,9 @@
 // independence). CPU-describing parameters are driven by the CPU share
 // (paper Figs. 5-6); device-speed parameters by the I/O-bandwidth share
 // (constants in the paper, where I/O was never rationed — Figs. 7-8);
-// ratios like PostgreSQL's random_page_cost by no dimension at all.
+// network-transfer parameters by the network-bandwidth share (beyond the
+// paper: M = 4); ratios like PostgreSQL's random_page_cost by no
+// dimension at all.
 #ifndef VDBA_CALIB_CALIBRATION_MODEL_H_
 #define VDBA_CALIB_CALIBRATION_MODEL_H_
 
@@ -95,6 +97,14 @@ class CalibrationModel {
   void SetIoFits(DimFit unit_seconds, DimFit overhead_ms,
                  DimFit transfer_rate_ms);
 
+  /// Sets the network-transfer calibration function. For PostgreSQL the
+  /// fit is in units of one sequential page fetch *at io share 1* (like
+  /// the CPU parameters, so ParamsFor can re-scale it when the I/O share
+  /// stretches the page unit); for DB2 it is absolute milliseconds per
+  /// shipped page. Calibrate always installs one — analytic 1/r_net from
+  /// a single measurement, or a regression over a net_shares sweep.
+  void SetNetFit(DimFit net_transfer);
+
  private:
   simdb::EngineFlavor flavor_ = simdb::EngineFlavor::kPostgres;
   // PostgreSQL CPU parameters, in units of one sequential page fetch *at
@@ -103,6 +113,12 @@ class CalibrationModel {
   DimFit cpu_operator_;
   DimFit cpu_index_tuple_;
   DimFit random_page_cost_ = DimFit::Constant(4.0);  // a ratio: io-invariant
+  // Network transfer (driven by kNetDim): PostgreSQL page units at io
+  // share 1, DB2 absolute ms. Defaults come from the engine parameter
+  // defaults so an uncalibrated model stays consistent for workloads
+  // that ship no data (MakeDb2 swaps in the DB2 default).
+  DimFit net_transfer_ =
+      DimFit::Inverse(simvm::kNetDim, simdb::PgParams{}.net_page_cost);
   // DB2 parameters (absolute ms units).
   DimFit cpuspeed_ms_;
   DimFit overhead_ms_ = DimFit::Constant(6.0);

@@ -125,6 +125,14 @@ simdb::Workload Testbed::CpuLazyUnit(const simdb::DbEngine& engine,
   return workload::MakeRepeatedQueryWorkload("unitI", q21, copies);
 }
 
+simdb::Workload Testbed::NetIntensiveUnit(
+    const simdb::DbEngine& engine, const workload::TpchDatabase& db) const {
+  simdb::QuerySpec extract = workload::TpchReplicationExtract(db);
+  double copies = workload::CopiesToMatch(
+      engine, extract, CpuUnitEnv(), kCpuExperimentMemoryMb, kCpuUnitSeconds);
+  return workload::MakeRepeatedQueryWorkload("unitX", extract, copies);
+}
+
 simdb::Workload Testbed::MemoryIntensiveUnit(
     const workload::TpchDatabase& db) const {
   return workload::MakeRepeatedQueryWorkload("unitB",

@@ -121,6 +121,11 @@ class Testbed {
   /// D unit: copies of Q16 (SF10) matched to B at 100% memory (§7.4).
   simdb::Workload MemoryLazyUnit(const simdb::DbEngine& engine,
                                  const workload::TpchDatabase& db) const;
+  /// X unit: copies of the replication extract (remote scan + result
+  /// shipping) lasting kCpuUnitSeconds — the data-shipping-heavy unit of
+  /// the M = 4 network-bandwidth experiments (beyond the paper).
+  simdb::Workload NetIntensiveUnit(const simdb::DbEngine& engine,
+                                   const workload::TpchDatabase& db) const;
 
   /// Runtime environment of a VM at 100% of the machine.
   simdb::RuntimeEnv FullEnv() const;

@@ -13,6 +13,7 @@ double Db2CostModel::NativeCost(const Activity& a,
   double ms = instr * p.cpuspeed_ms_per_instr;
   ms += a.rand_pages * (p.overhead_ms + p.transfer_rate_ms);
   ms += (a.seq_pages + a.spill_pages + a.write_pages) * p.transfer_rate_ms;
+  ms += a.net_pages * p.net_transfer_ms;
   // Row return, logging, and lock contention are unmodeled (§7.8).
   return ms / kMsPerTimeron;
 }

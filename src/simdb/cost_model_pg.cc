@@ -14,6 +14,7 @@ double PgCostModel::NativeCost(const Activity& a,
   cost += a.tuples * p.cpu_tuple_cost;
   cost += a.op_evals * p.cpu_operator_cost;
   cost += a.index_tuples * p.cpu_index_tuple_cost;
+  cost += a.net_pages * p.net_page_cost;
   // Row-return and WAL costs are deliberately NOT modeled: real optimizers
   // omit them because they are plan-invariant (§4.3), and their absence is
   // one of the estimation errors online refinement corrects.

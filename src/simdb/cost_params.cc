@@ -41,18 +41,19 @@ std::string ParamsToString(const EngineParams& params) {
     std::snprintf(buf, sizeof(buf),
                   "pg{random_page_cost=%.3f cpu_tuple_cost=%.5f "
                   "cpu_operator_cost=%.6f cpu_index_tuple_cost=%.5f "
-                  "shared_buffers=%.0fMB work_mem=%.0fMB "
+                  "net_page_cost=%.3f shared_buffers=%.0fMB work_mem=%.0fMB "
                   "effective_cache_size=%.0fMB}",
                   p.random_page_cost, p.cpu_tuple_cost, p.cpu_operator_cost,
-                  p.cpu_index_tuple_cost, p.shared_buffers_mb, p.work_mem_mb,
+                  p.cpu_index_tuple_cost, p.net_page_cost,
+                  p.shared_buffers_mb, p.work_mem_mb,
                   p.effective_cache_size_mb);
   } else {
     const Db2Params& p = std::get<Db2Params>(params);
     std::snprintf(buf, sizeof(buf),
                   "db2{cpuspeed=%.3e overhead=%.3fms transfer_rate=%.4fms "
-                  "sortheap=%.0fMB bufferpool=%.0fMB}",
+                  "net_transfer=%.4fms sortheap=%.0fMB bufferpool=%.0fMB}",
                   p.cpuspeed_ms_per_instr, p.overhead_ms, p.transfer_rate_ms,
-                  p.sortheap_mb, p.bufferpool_mb);
+                  p.net_transfer_ms, p.sortheap_mb, p.bufferpool_mb);
   }
   return buf;
 }

@@ -22,6 +22,11 @@ struct PgParams {
   double cpu_tuple_cost = 0.01;         ///< Cost per tuple processed.
   double cpu_operator_cost = 0.0025;    ///< Cost per predicate/expr eval.
   double cpu_index_tuple_cost = 0.005;  ///< Cost per index entry processed.
+  /// Cost of shipping one 8 KB page over the network (client result
+  /// transfer / remote-table fetch), relative to one sequential page
+  /// fetch. Beyond the paper's Table II: the network-bandwidth dimension's
+  /// describing parameter (grows as 1/r_net shrinks the VM's NIC share).
+  double net_page_cost = 0.5;
   double effective_cache_size_mb = 128; ///< OS page-cache size estimate.
   // -- Prescriptive (set by the administrator's policy) --
   double shared_buffers_mb = 32.0;      ///< Buffer pool size.
@@ -38,6 +43,9 @@ struct Db2Params {
   double cpuspeed_ms_per_instr = 4.0e-7; ///< Milliseconds per instruction.
   double overhead_ms = 6.0;              ///< Extra ms per random I/O.
   double transfer_rate_ms = 0.1;         ///< ms to read one data page.
+  /// Milliseconds to ship one 8 KB page over the network (beyond Table
+  /// III: describes the network-bandwidth dimension, scaling as 1/r_net).
+  double net_transfer_ms = 0.05;
   // -- Prescriptive --
   double sortheap_mb = 40.0;              ///< Sort/hash memory.
   double bufferpool_mb = 190.0;           ///< Buffer pool size.

@@ -71,6 +71,10 @@ EngineParams DbEngine::ActualParams(const RuntimeEnv& env,
     p.cpu_operator_cost = sec_per_op / spp_sec;
     p.cpu_index_tuple_cost = sec_per_idx / spp_sec;
     p.random_page_cost = env.rand_page_ms / env.seq_page_ms;
+    // Network transfer is uncontended (the blasting VM saturates the
+    // disk), so the page unit it is expressed in keeps its contention
+    // factor while the network time does not.
+    p.net_page_cost = env.net_page_ms / (env.seq_page_ms * env.io_contention);
     return MemoryPolicy::ApplyPg(p, vm_memory_mb);
   }
   Db2Params p;
@@ -78,6 +82,7 @@ EngineParams DbEngine::ActualParams(const RuntimeEnv& env,
   p.transfer_rate_ms = env.seq_page_ms * env.io_contention;
   p.overhead_ms = (env.rand_page_ms - env.seq_page_ms) * env.io_contention;
   if (p.overhead_ms < 0.0) p.overhead_ms = 0.0;
+  p.net_transfer_ms = env.net_page_ms;
   return MemoryPolicy::ApplyDb2(p, vm_memory_mb);
 }
 

@@ -38,6 +38,9 @@ ExecutionBreakdown Executor::ExecutePlan(const PlanNode& plan,
   io_ms += act.write_pages * env.write_page_ms;
   io_ms += act.log_bytes / (1024.0 * 1024.0) * env.log_ms_per_mb;
   out.io_seconds = io_ms * env.io_contention / 1000.0;
+  // Network transfer: the I/O-blasting VM contends for the disk, not the
+  // NIC, so io_contention does not apply.
+  out.net_seconds = act.net_pages * env.net_page_ms / 1000.0;
   return out;
 }
 

@@ -30,6 +30,11 @@ struct RuntimeEnv {
   double write_page_ms = 0.2;
   /// Milliseconds to persist 1 MB of log (sequential write).
   double log_ms_per_mb = 12.0;
+  /// Milliseconds to ship one 8 KB page over this VM's network share
+  /// (client result transfer and remote-table page fetches). Unlike the
+  /// device times above, network transfer is NOT multiplied by
+  /// io_contention — the blasting VM saturates the disk, not the NIC.
+  double net_page_ms = 0.05;
   /// Multiplier on all I/O times from co-located I/O load (the paper's
   /// always-on I/O-blasting VM makes this > 1 in every experiment).
   double io_contention = 1.0;
@@ -63,7 +68,13 @@ struct ExecutionProfile {
 struct ExecutionBreakdown {
   double cpu_seconds = 0.0;
   double io_seconds = 0.0;
-  double total_seconds() const { return cpu_seconds + io_seconds; }
+  /// Data-shipping time: result rows returned to a remote client plus
+  /// remote/replicated-table pages fetched over the VM's network share.
+  /// Zero for workloads that ship no data (the historical M <= 3 setups).
+  double net_seconds = 0.0;
+  double total_seconds() const {
+    return cpu_seconds + io_seconds + net_seconds;
+  }
 };
 
 /// Deterministic plan-execution timing.

@@ -67,6 +67,7 @@ class PlanSearch {
     node->table = rel.table;
     node->scan_selectivity = rel.filter_selectivity;
     node->num_predicates = rel.num_predicates;
+    node->remote_fraction = rel.remote_fraction;
     node->output_rows = cards_.BaseRows(rel_index);
     node->output_width_bytes = cards_.RowWidth(1u << rel_index);
     node->op = PlanOp::kSeqScan;
@@ -291,6 +292,7 @@ class PlanSearch {
     node->output_rows = rows;
     node->output_width_bytes = child->output_width_bytes;
     node->extra_ops_per_row = query_.extra_ops_per_row;
+    node->ship_fraction = query_.ship_fraction;
     node->left = std::move(child);
     return node;
   }

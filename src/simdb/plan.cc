@@ -89,7 +89,11 @@ class ActivityWalker {
 
   std::string SeqScan(const PlanNode& node, Activity* act) {
     const TableDef& t = catalog_.table(node.table);
-    act->seq_pages += t.Pages() * cold_miss_;
+    double pages = t.Pages() * cold_miss_;
+    act->seq_pages += pages;
+    // Remote/replicated tables: every page actually read (cache misses
+    // only — cached pages do not re-ship) also traverses the network.
+    act->net_pages += pages * node.remote_fraction;
     act->tuples += t.rows;
     act->op_evals += t.rows * node.num_predicates;
     return "SS";
@@ -101,13 +105,18 @@ class ActivityWalker {
     double rows_sel = t.rows * node.scan_selectivity;
     double descent = catalog_.IndexHeight(node.index);
     double leaf = catalog_.IndexLeafPages(node.index) * node.scan_selectivity;
-    act->rand_pages += (descent + leaf) * cold_miss_;
+    double read_pages = (descent + leaf) * cold_miss_;
+    act->rand_pages += read_pages;
     if (idx.clustered) {
-      act->seq_pages += t.Pages() * node.scan_selectivity * cold_miss_;
+      double heap_pages = t.Pages() * node.scan_selectivity * cold_miss_;
+      act->seq_pages += heap_pages;
+      read_pages += heap_pages;
     } else {
       double heap_fetches = rows_sel < t.Pages() ? rows_sel : t.Pages();
       act->rand_pages += heap_fetches * cold_miss_;
+      read_pages += heap_fetches * cold_miss_;
     }
+    act->net_pages += read_pages * node.remote_fraction;
     act->index_tuples += rows_sel;
     act->tuples += rows_sel;
     act->op_evals += rows_sel * node.num_predicates;
@@ -140,7 +149,13 @@ class ActivityWalker {
                         kPageSizeBytes;
     double structure_bytes = t.Pages() * kPageSizeBytes + leaf_bytes;
     double pages_per_probe = descent + matches;
-    act->rand_pages += probes * pages_per_probe * ProbeMiss(structure_bytes);
+    double probe_pages = probes * pages_per_probe * ProbeMiss(structure_bytes);
+    act->rand_pages += probe_pages;
+    // Index probes hit the (possibly remote) inner table directly, so its
+    // remote fraction ships every probed page. (NestLoop rescans, by
+    // contrast, re-read the local materialization — only the inner's
+    // first pass, charged by its own Walk, crosses the network.)
+    act->net_pages += probe_pages * inner.remote_fraction;
     act->index_tuples += probes * (descent + matches);
     act->tuples += probes * matches;
     act->op_evals += probes * (matches + inner.num_predicates * matches);
@@ -245,6 +260,10 @@ class ActivityWalker {
   std::string Result(const PlanNode& node, Activity* act) {
     std::string ls = Walk(*node.left, act);
     act->rows_returned += node.output_rows;
+    // Client result transfer: rows shipped to a remote client traverse
+    // the network as page-equivalents of the result width.
+    act->net_pages += node.output_rows * node.output_width_bytes /
+                      kPageSizeBytes * node.ship_fraction;
     act->op_evals += node.left->output_rows * node.extra_ops_per_row;
     return ls;  // Result adds no tag; signatures describe the real work.
   }
@@ -293,6 +312,7 @@ Activity& Activity::operator+=(const Activity& other) {
   index_tuples += other.index_tuples;
   rows_returned += other.rows_returned;
   update_rows += other.update_rows;
+  net_pages += other.net_pages;
   return *this;
 }
 

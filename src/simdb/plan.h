@@ -52,6 +52,9 @@ struct PlanNode {
   IndexId index = kInvalidIndex;
   double scan_selectivity = 1.0;
   int num_predicates = 0;
+  /// Fraction of this scan's page reads additionally shipped over the
+  /// network (remote/replicated table; see RelationRef::remote_fraction).
+  double remote_fraction = 0.0;
 
   // Index-nested-loop joins: matches per probe on the inner relation.
   double inner_rows_per_probe = 0.0;
@@ -69,6 +72,9 @@ struct PlanNode {
   // Result.
   double limit_rows = 0.0;
   double extra_ops_per_row = 0.0;
+  /// Fraction of result rows shipped to a remote client (see
+  /// QuerySpec::ship_fraction).
+  double ship_fraction = 0.0;
 
   // Cardinality of this node's output.
   double output_rows = 0.0;
@@ -106,6 +112,7 @@ struct Activity {
   double index_tuples = 0.0;   ///< Index-entry touches.
   double rows_returned = 0.0;  ///< Rows shipped to the client.
   double update_rows = 0.0;    ///< Rows modified.
+  double net_pages = 0.0;      ///< 8 KB page-equivalents over the network.
 
   Activity& operator+=(const Activity& other);
 };

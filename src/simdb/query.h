@@ -24,6 +24,12 @@ struct RelationRef {
   /// Name of an indexed column usable for the most selective predicate
   /// (empty = no usable index; the optimizer then has only SeqScan).
   std::string index_column;
+  /// Fraction of this relation's page reads served by a remote replica
+  /// (replicated / shared-storage table): those pages additionally
+  /// traverse the network on top of the storage node's disk I/O. 0 (the
+  /// default) is a fully local table — no network cost, preserving the
+  /// paper's M <= 3 behaviour exactly.
+  double remote_fraction = 0.0;
 };
 
 /// Equi-join edge between two relations of the query.
@@ -84,6 +90,12 @@ struct QuerySpec {
 
   /// Hard cap on rows returned to the client (0 = no limit).
   double limit_rows = 0.0;
+
+  /// Fraction of result rows shipped to a *remote* client over the VM's
+  /// network share (bulk extracts, application servers on another host).
+  /// 0 (the default) models the paper's setup — results consumed locally,
+  /// no network cost.
+  double ship_fraction = 0.0;
 
   /// Marks OLTP statements: the executor applies lock-contention and
   /// logging overheads that the optimizer cost model does NOT see (this is

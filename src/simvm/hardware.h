@@ -26,6 +26,12 @@ struct PhysicalMachine {
   double write_page_ms = 0.20;
   /// Milliseconds to persist 1 MB of sequential log.
   double log_ms_per_mb = 12.0;
+  /// Milliseconds to ship one 8 KB page over the network at full NIC
+  /// bandwidth (0.05 ms/page ~= 160 MB/s ~= 1.3 Gbit/s, a mid-2000s
+  /// datacenter link). Charged for client result transfer and
+  /// remote/replicated-table page fetches; a VM holding net share r sees
+  /// the link 1/r slower (Hypervisor::MakeEnv).
+  double net_page_ms = 0.05;
   /// Resource dimensions this machine rations among VMs. The advisor sizes
   /// every enumeration loop and cache key from this.
   const ResourceModel* resources = &ResourceModel::CpuMem();

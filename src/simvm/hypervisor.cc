@@ -5,7 +5,10 @@
 namespace vdba::simvm {
 
 Hypervisor::Hypervisor(PhysicalMachine machine, HypervisorOptions options)
-    : machine_(machine), options_(options), noise_(options.noise_seed) {
+    : machine_(machine),
+      options_(options),
+      noise_(options.noise_seed),
+      net_noise_(NetNoiseSeed(options.noise_seed)) {
   VDBA_CHECK_GE(options_.io_contention_factor, 1.0);
 }
 
@@ -18,6 +21,9 @@ simdb::RuntimeEnv Hypervisor::MakeEnv(const ResourceVector& vm) const {
   env.rand_page_ms = machine_.rand_page_ms / io;
   env.write_page_ms = machine_.write_page_ms / io;
   env.log_ms_per_mb = machine_.log_ms_per_mb / io;
+  // A VM holding net share r_net sees the NIC 1/r_net slower — the same
+  // proportional-throttling model as the I/O-bandwidth dimension.
+  env.net_page_ms = machine_.net_page_ms / vm.net_share();
   env.io_contention = options_.io_contention_factor;
   return env;
 }
@@ -33,6 +39,7 @@ simdb::ExecutionBreakdown Hypervisor::TrueWorkloadBreakdown(
         engine.ExecuteQuery(stmt.query, env, mem_mb);
     total.cpu_seconds += one.cpu_seconds * stmt.frequency;
     total.io_seconds += one.io_seconds * stmt.frequency;
+    total.net_seconds += one.net_seconds * stmt.frequency;
   }
   return total;
 }
@@ -62,6 +69,11 @@ double Hypervisor::MeasureRandReadSecPerPage(const ResourceVector& vm) {
 double Hypervisor::MeasureCpuSecPerInstr(const ResourceVector& vm) {
   simdb::RuntimeEnv env = MakeEnv(vm);
   return 1.0 / env.cpu_ops_per_sec * Noise();
+}
+
+double Hypervisor::MeasureNetSecPerPage(const ResourceVector& vm) {
+  simdb::RuntimeEnv env = MakeEnv(vm);
+  return env.net_page_ms / 1000.0 * NetNoise();
 }
 
 }  // namespace vdba::simvm

@@ -2,8 +2,8 @@
 //
 // Provides the two mechanisms the paper's advisor needs from the
 // virtualization layer: enforcement of per-VM resource shares (CPU,
-// memory, and — when the machine's ResourceModel carries it — I/O
-// bandwidth), and the ability to run a workload inside a VM and measure
+// memory, and — when the machine's ResourceModel carries them — I/O and
+// network bandwidth), and the ability to run a workload inside a VM and measure
 // its completion time. Also simulates the paper's always-running "I/O
 // blasting" VM, which magnifies I/O contention during both calibration and
 // measurement (§7.1), and exposes the micro-measurement programs used by
@@ -76,15 +76,33 @@ class Hypervisor {
   /// probe).
   double MeasureCpuSecPerInstr(const ResourceVector& vm);
 
-  /// Resets the noise stream (reproducible calibration sequences).
-  void ReseedNoise(uint64_t seed) { noise_ = Rng(seed); }
+  /// Measured seconds to ship one 8 KB page over the VM's network share
+  /// (the network-bandwidth micro-program; no I/O contention — the
+  /// blasting VM saturates the disk, not the NIC). Draws from a dedicated
+  /// noise stream so adding net measurements to a calibration sequence
+  /// leaves every pre-existing measurement bit-identical.
+  double MeasureNetSecPerPage(const ResourceVector& vm);
+
+  /// Resets the noise streams (reproducible calibration sequences).
+  void ReseedNoise(uint64_t seed) {
+    noise_ = Rng(seed);
+    net_noise_ = Rng(NetNoiseSeed(seed));
+  }
 
  private:
   double Noise() { return noise_.NoiseFactor(options_.measurement_noise_sigma); }
+  double NetNoise() {
+    return net_noise_.NoiseFactor(options_.measurement_noise_sigma);
+  }
+  /// Decorrelates the network stream from the main one.
+  static uint64_t NetNoiseSeed(uint64_t seed) {
+    return seed ^ 0xa5a5a5a55a5a5a5aULL;
+  }
 
   PhysicalMachine machine_;
   HypervisorOptions options_;
   Rng noise_;
+  Rng net_noise_;
 };
 
 }  // namespace vdba::simvm

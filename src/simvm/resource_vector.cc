@@ -82,6 +82,11 @@ const ResourceModel& ResourceModel::CpuMemIo() {
   return model;
 }
 
+const ResourceModel& ResourceModel::CpuMemIoNet() {
+  static const ResourceModel model(4);
+  return model;
+}
+
 const ResourceDimDesc& ResourceModel::dim(int d) const {
   VDBA_CHECK_GE(d, 0);
   VDBA_CHECK_LT(d, dims_);

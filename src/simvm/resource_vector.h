@@ -71,6 +71,7 @@ class ResourceVector {
   double cpu_share() const { return shares_[kCpuDim]; }
   double mem_share() const { return shares_[kMemDim]; }
   double io_share() const { return share(kIoDim); }
+  double net_share() const { return share(kNetDim); }
 
   /// Copy with at least `dims` dimensions, padding new ones with 1.0.
   ResourceVector Expanded(int dims) const;
@@ -110,24 +111,45 @@ class ResourceVector {
   }();
 };
 
-/// The set of resource dimensions a physical machine exposes to the
-/// advisor (the machine's M). Enumerators, estimators, and calibration all
-/// size their loops from this.
+/// \brief The set of resource dimensions a physical machine exposes to the
+/// advisor (the machine's M).
+///
+/// `PhysicalMachine::resources` points at one of these, and it is the
+/// single source of truth for M in the whole pipeline: enumerators size
+/// their move loops from it (via `CostEstimator::num_dims()`), the what-if
+/// estimator canonicalizes allocations and cache keys to it, fitted models
+/// build M-wide feature vectors from it, and `DefaultAllocation` pads the
+/// 1/N starting point to it. A dimension outside the model is *invisible*
+/// to the advisor — its share is never moved and reads as 1.0
+/// (unallocated) everywhere.
+///
+/// The predefined models form the ladder this reproduction climbed:
+/// M = 2 (the paper), M = 3 (+ I/O bandwidth), M = 4 (+ network
+/// bandwidth). Custom instances with any `dims <= kMaxResourceDims` are
+/// equally valid.
 class ResourceModel {
  public:
+  /// \param dims Number of leading dimensions (kCpuDim..) the machine
+  ///   rations; must be in [1, kMaxResourceDims].
   explicit ResourceModel(int dims);
 
   /// M = 2: CPU + memory (the paper's experiments).
   static const ResourceModel& CpuMem();
   /// M = 3: CPU + memory + I/O bandwidth.
   static const ResourceModel& CpuMemIo();
+  /// M = 4: CPU + memory + I/O bandwidth + network bandwidth.
+  static const ResourceModel& CpuMemIoNet();
 
+  /// Number of dimensions the machine rations (the paper's M).
   int dims() const { return dims_; }
+  /// \returns display metadata of dimension `d`; d must be < dims().
   const ResourceDimDesc& dim(int d) const;
 
+  /// All `dims()` dimensions set to `share`.
   ResourceVector Uniform(double share) const {
     return ResourceVector::Uniform(dims_, share);
   }
+  /// The whole machine: all `dims()` dimensions at 1.0.
   ResourceVector Full() const { return ResourceVector::Full(dims_); }
 
  private:

@@ -377,4 +377,21 @@ QuerySpec TpchQuery18Modified(const TpchDatabase& db) {
   return q;
 }
 
+QuerySpec TpchReplicationExtract(const TpchDatabase& db) {
+  QuerySpec q;
+  q.name = "Xextract";
+  // Full verification scan of the lineitem replica: every page read comes
+  // over the network on top of the storage node's disk I/O, folded into a
+  // scalar checksum whose single result row ships back to the remote
+  // coordinator. Minimal CPU and (unlike a row-at-a-time bulk export) no
+  // large unmodeled row-return cost, so the what-if estimate tracks the
+  // actual and the network share is what the advisor has left to tune.
+  RelationRef r = Rel(db.tables.lineitem, 1.0, 0);
+  r.remote_fraction = 1.0;
+  q.relations = {r};
+  q.aggregate = {AggregateKind::kScalar, 1, 1, 32, 1.0};
+  q.ship_fraction = 1.0;
+  return q;
+}
+
 }  // namespace vdba::workload

@@ -51,6 +51,12 @@ simdb::QuerySpec TpchQuery(const TpchDatabase& db, int number);
 /// the query touches less data and waits less on I/O.
 simdb::QuerySpec TpchQuery18Modified(const TpchDatabase& db);
 
+/// Replication/ETL extract (beyond the paper: the unit workload of the
+/// M = 4 network-bandwidth dimension): scans the lineitem replica over the
+/// network and ships every result row to a remote consumer, so its
+/// completion time is dominated by data transfer that scales in 1/r_net.
+simdb::QuerySpec TpchReplicationExtract(const TpchDatabase& db);
+
 }  // namespace vdba::workload
 
 #endif  // VDBA_WORKLOAD_TPCH_H_

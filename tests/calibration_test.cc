@@ -140,6 +140,66 @@ TEST_F(CalibrationTest, IoParamIndependentOfCpuAndMemory) {
   for (double v : values) EXPECT_NEAR(v / mean, 1.0, 0.05);
 }
 
+TEST_F(CalibrationTest, NetParamLinearInInverseNetShare) {
+  // The net DimFit premise: the network-transfer parameter varies
+  // linearly in 1/(net share), like the other per-dimension fits.
+  simdb::ExecutionProfile profile;
+  Calibrator cal(&hv_, EngineFlavor::kDb2, profile);
+  std::vector<double> inv, values;
+  for (double share : {0.25, 0.5, 1.0}) {
+    inv.push_back(1.0 / share);
+    values.push_back(
+        cal.MeasureNetParam(ResourceVector{0.5, 0.5, 1.0, share}));
+  }
+  auto fit = FitLinear(inv, values);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST_F(CalibrationTest, NetFitRoundTripsThroughParamsFor) {
+  // Calibration round-trip for the net DimFit: calibrate with a
+  // net_shares sweep, then compare the model's net parameter against the
+  // engine's self-aware truth at allocations on and off the sweep grid,
+  // for both flavors.
+  CalibrationOptions opts;
+  opts.net_shares = {0.35, 0.5, 0.7, 1.0};
+
+  simdb::ExecutionProfile profile;
+  Calibrator db2_cal(&hv_, EngineFlavor::kDb2, profile);
+  auto db2_model = db2_cal.Calibrate(opts);
+  ASSERT_TRUE(db2_model.ok());
+  simdb::DbEngine db2_probe(
+      "probe-db2", EngineFlavor::kDb2,
+      simdb::Catalog(workload::MakeTpchDatabase(1.0).catalog), profile);
+  for (double net : {0.25, 0.4, 0.6, 1.0}) {
+    ResourceVector vm{0.5, 0.5, 1.0, net};
+    simdb::RuntimeEnv env = hv_.MakeEnv(vm);
+    auto truth = std::get<simdb::Db2Params>(
+        db2_probe.ActualParams(env, hv_.machine().VmMemoryMb(vm)));
+    auto fitted = std::get<simdb::Db2Params>(
+        db2_model->ParamsFor(vm, hv_.machine().VmMemoryMb(vm)));
+    EXPECT_NEAR(fitted.net_transfer_ms / truth.net_transfer_ms, 1.0, 0.05)
+        << net;
+  }
+
+  Calibrator pg_cal(&hv_, EngineFlavor::kPostgres, profile);
+  auto pg_model = pg_cal.Calibrate(opts);
+  ASSERT_TRUE(pg_model.ok());
+  simdb::DbEngine pg_probe(
+      "probe-pg", EngineFlavor::kPostgres,
+      simdb::Catalog(workload::MakeTpchDatabase(1.0).catalog), profile);
+  for (double net : {0.25, 0.4, 0.6, 1.0}) {
+    ResourceVector vm{0.5, 0.5, 1.0, net};
+    simdb::RuntimeEnv env = hv_.MakeEnv(vm);
+    auto truth = std::get<simdb::PgParams>(
+        pg_probe.ActualParams(env, hv_.machine().VmMemoryMb(vm)));
+    auto fitted = std::get<simdb::PgParams>(
+        pg_model->ParamsFor(vm, hv_.machine().VmMemoryMb(vm)));
+    EXPECT_NEAR(fitted.net_page_cost / truth.net_page_cost, 1.0, 0.05)
+        << net;
+  }
+}
+
 TEST_F(CalibrationTest, TracksSimulatedCostBudget) {
   // §7.2: calibration is a one-time cost of minutes, not hours.
   simdb::ExecutionProfile profile;

@@ -223,5 +223,78 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MixParam{0, 10, 5, 5}, MixParam{5, 5, 5, 5},
                       MixParam{10, 0, 0, 10}, MixParam{1, 0, 9, 0}));
 
+// ---------------------------------------------------------------------
+// Sweep 5: greedy invariants hold at M = 4 (network bandwidth rationed).
+// W1 mixes the data-shipping extract with Q18; W2 holds the mirror mix.
+// The net-heavy tenant must end up with at least the compute-heavy
+// tenant's network share, and the compute-heavy tenant must keep at
+// least the net-heavy tenant's CPU share.
+// ---------------------------------------------------------------------
+
+struct NetMixParam {
+  int x_units_w1;  ///< data-shipping units in W1 (W2 gets 10 - this)
+  int c_units_w1;  ///< compute units in W1
+};
+
+class NetDimInvariantTest : public ::testing::TestWithParam<NetMixParam> {};
+
+TEST_P(NetDimInvariantTest, SharesConservedAndFollowIntensityAtM4) {
+  const NetMixParam& p = GetParam();
+  auto mix = [&](int x_units, int c_units) {
+    simdb::Workload w;
+    if (x_units > 0) {
+      w.AddStatement(workload::TpchReplicationExtract(tb().tpch_sf1()),
+                     2.0 * x_units);
+    }
+    if (c_units > 0) {
+      w.AddStatement(workload::TpchQuery(tb().tpch_sf1(), 18),
+                     2.0 * c_units);
+    }
+    return w;
+  };
+  std::vector<Tenant> tenants = {
+      tb().MakeTenant(tb().db2_sf1(), mix(p.x_units_w1, p.c_units_w1)),
+      tb().MakeTenant(tb().db2_sf1(),
+                      mix(10 - p.x_units_w1, 10 - p.c_units_w1))};
+
+  simvm::PhysicalMachine m4 = tb().machine();
+  m4.resources = &simvm::ResourceModel::CpuMemIoNet();
+  VirtualizationDesignAdvisor adv(m4, tenants);
+  Recommendation rec = adv.Recommend();
+
+  ASSERT_EQ(rec.allocations.size(), 2u);
+  for (int d = 0; d < 4; ++d) {
+    double sum = 0.0;
+    for (const auto& r : rec.allocations) {
+      ASSERT_EQ(r.dims(), 4);
+      EXPECT_GE(r[d], 0.05 - 1e-9) << "dim " << d;
+      sum += r[d];
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9) << "dim " << d;
+  }
+
+  // Resource shares follow intensity: the net-heavy tenant gets the
+  // network, the compute-heavy tenant keeps the CPU.
+  const auto& w1 = rec.allocations[0];
+  const auto& w2 = rec.allocations[1];
+  if (p.x_units_w1 > 10 - p.x_units_w1) {
+    EXPECT_GE(w1.net_share() + 1e-9, w2.net_share());
+  }
+  if (p.c_units_w1 < 10 - p.c_units_w1) {
+    EXPECT_GE(w2.cpu_share() + 1e-9, w1.cpu_share());
+  }
+
+  // The recommendation never loses to the M = 4 default on estimates.
+  double t_def = adv.EstimateTotalSeconds(DefaultAllocation(2, 4));
+  double t_rec = rec.estimated_seconds[0] + rec.estimated_seconds[1];
+  EXPECT_LE(t_rec, t_def + 1e-6);
+  EXPECT_GE(rec.estimated_improvement, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixGridM4, NetDimInvariantTest,
+    ::testing::Values(NetMixParam{10, 0}, NetMixParam{8, 2},
+                      NetMixParam{6, 4}, NetMixParam{5, 5}));
+
 }  // namespace
 }  // namespace vdba::advisor
