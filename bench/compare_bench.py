@@ -14,9 +14,12 @@ refresh; they start gating once ``--snapshot`` is re-run. Direction is
 derived from the metric name:
 
 * higher-is-better: names containing ``speedup``, ``improvement``,
-  ``identical``, or ``wins`` (ratios and quality scores);
+  ``identical``, or ``wins`` (ratios and quality scores — this covers
+  the fleet arm's ``fleet_migration_improvement_*`` /
+  ``fleet_migration_wins_8x64`` / ``fleet_single_pm_identical``);
 * lower-is-better: names ending in ``_ms``, ``_seconds``, ``_sec``, or
-  containing ``latency`` (wall-clock style metrics).
+  containing ``latency`` (wall-clock style metrics, e.g. the fleet
+  arm's ``fleet_solve_latency_ms_*``).
 
 Anything else (counts, shares, candidates, ...) is reported informationally
 but never gates. Latency metrics where both sides sit under

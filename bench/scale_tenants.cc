@@ -1,25 +1,37 @@
-// Cross-tenant batched enumeration at scale (beyond the paper: fleets of
-// tenants, M = 3).
+// Cross-tenant batched enumeration and fleet-scale placement (beyond the
+// paper: fleets of tenants, then fleets of machines).
 //
-// Sweeps N in {2, 4, 8, 16, 32} heterogeneous tenants on the M = 3
+// Arm 1 sweeps N in {2, 4, 8, 16, 32} heterogeneous tenants on the M = 3
 // machine (CPU, memory, I/O bandwidth) and runs the greedy enumerator
 // twice per N: once with the batched estimator (every iteration's full
 // cross-tenant move frontier fanned out over the thread pool via
 // CostEstimator::EstimateMany) and once with the estimator pinned to the
 // sequential EstimateMany default. The final allocations must be
 // bit-identical — batching is a pure scheduling change — and the recorded
-// wall-clock speedup is the tentpole acceptance metric (>= 2x at N = 16
-// on a multi-core host; on a single-core host the fan-out degenerates to
-// ~1x, which the JSON also records via the hardware_threads metric).
+// wall-clock speedup is the original tentpole acceptance metric (>= 2x at
+// N = 16 on a multi-core host; on a single-core host the fan-out
+// degenerates to ~1x, which the JSON also records via the
+// hardware_threads metric).
+//
+// Arm 2 (fleet) sweeps (machines x tenants) in {2x16, 4x32, 8x64} over a
+// heterogeneous M = 4 fleet (balanced / net-fast / cpu-fast classes, each
+// class calibrated on its own box) and solves it with FleetAdvisor twice
+// per policy: with the cross-machine migration repair loop and without.
+// Acceptance: at 8x64 migration repair must beat migration-disabled
+// placement on total estimated cost for at least one placement policy,
+// and a single-machine fleet must reproduce the plain advisor's
+// recommendation bit-for-bit.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "advisor/fleet_advisor.h"
 #include "advisor/greedy_enumerator.h"
 #include "bench_common.h"
 #include "util/thread_pool.h"
@@ -137,6 +149,110 @@ PairTiming TimeBatchedVsSequential(const simvm::PhysicalMachine& machine,
   return timing;
 }
 
+/// One heterogeneous machine class: testbed options plus the Testbed that
+/// calibrates both DBMS flavors on exactly that hardware (§4.3 is
+/// per-DBMS-per-machine, so every class carries its own models).
+struct MachineClass {
+  std::string name;
+  std::unique_ptr<scenario::Testbed> testbed;
+};
+
+/// Balanced / net-fast (4x NIC) / cpu-fast (1.5x cores) classes under the
+/// M = 4 resource model.
+std::vector<MachineClass> MakeMachineClasses() {
+  auto base = [] {
+    scenario::TestbedOptions opts;
+    opts.machine.resources = &simvm::ResourceModel::CpuMemIoNet();
+    opts.calibration.io_shares = {0.35, 0.5, 0.7, 1.0};
+    opts.calibration.net_shares = {0.35, 0.5, 0.7, 1.0};
+    opts.with_sf10 = false;
+    opts.with_tpcc = false;
+    return opts;
+  };
+  std::vector<MachineClass> classes;
+  scenario::TestbedOptions balanced = base();
+  balanced.machine.name = "balanced";
+  classes.push_back(
+      {"balanced", std::make_unique<scenario::Testbed>(balanced)});
+  scenario::TestbedOptions net_fast = base();
+  net_fast.machine.name = "net-fast";
+  net_fast.machine.net_page_ms /= 4.0;
+  classes.push_back(
+      {"net-fast", std::make_unique<scenario::Testbed>(net_fast)});
+  scenario::TestbedOptions cpu_fast = base();
+  cpu_fast.machine.name = "cpu-fast";
+  cpu_fast.machine.cpu_ops_per_sec *= 1.5;
+  classes.push_back(
+      {"cpu-fast", std::make_unique<scenario::Testbed>(cpu_fast)});
+  return classes;
+}
+
+/// P machines cycling through the classes (a skewed but repeatable mix).
+std::vector<advisor::FleetMachine> MakeFleet(
+    const std::vector<MachineClass>& classes, int p) {
+  std::vector<advisor::FleetMachine> fleet;
+  fleet.reserve(static_cast<size_t>(p));
+  for (int m = 0; m < p; ++m) {
+    const MachineClass& cls = classes[static_cast<size_t>(m) %
+                                      classes.size()];
+    advisor::FleetMachine fm;
+    fm.hardware = cls.testbed->machine();
+    fm.hardware.name = cls.name + "-" + std::to_string(m);
+    fm.pg_calibration = &cls.testbed->pg_calibration();
+    fm.db2_calibration = &cls.testbed->db2_calibration();
+    fleet.push_back(fm);
+  }
+  return fleet;
+}
+
+/// Fleet tenant population: the arm-1 heterogeneous mix plus a
+/// data-shipping statement on every other tenant, so the net-fast class
+/// is genuinely preferable for half the population.
+std::vector<advisor::Tenant> MakeFleetTenants(const scenario::Testbed& tb,
+                                              int n) {
+  std::vector<advisor::Tenant> tenants = MakeTenants(tb, n);
+  for (size_t i = 0; i < tenants.size(); i += 2) {
+    tenants[i].workload.AddStatement(
+        workload::TpchReplicationExtract(tb.tpch_sf1()), 4.0);
+  }
+  return tenants;
+}
+
+/// Solves `fleet` x `tenants` with and without migration repair under one
+/// placement policy; returns (latency of the migrating solve, relative
+/// cost improvement migration bought).
+struct FleetTiming {
+  double solve_seconds = 0.0;
+  double migration_improvement = 0.0;
+  int migrations = 0;
+  advisor::FleetRecommendation rec;
+};
+
+FleetTiming SolveFleet(const std::vector<advisor::FleetMachine>& fleet,
+                       const std::vector<advisor::Tenant>& tenants,
+                       const std::string& policy) {
+  advisor::FleetOptions off;
+  off.placement.policy = policy;
+  off.migrate = false;
+  advisor::FleetRecommendation base =
+      advisor::FleetAdvisor(fleet, tenants, off).Recommend();
+
+  advisor::FleetOptions on = off;
+  on.migrate = true;
+  auto start = std::chrono::steady_clock::now();
+  advisor::FleetRecommendation repaired =
+      advisor::FleetAdvisor(fleet, tenants, on).Recommend();
+  FleetTiming timing;
+  timing.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  timing.migration_improvement =
+      (base.total_cost - repaired.total_cost) / base.total_cost;
+  timing.migrations = repaired.migrations;
+  timing.rec = std::move(repaired);
+  return timing;
+}
+
 }  // namespace
 
 int main() {
@@ -202,6 +318,60 @@ int main() {
                 timing.speedup(), timing.identical ? "yes" : "NO (bug)");
   }
 
+  // --- Fleet arm: heterogeneous machines x tenants, migration repair on
+  // vs off, per placement policy. ---
+  std::printf("\nfleet arm: heterogeneous M = 4 fleet "
+              "(balanced / net-fast / cpu-fast)\n");
+  std::vector<MachineClass> classes = MakeMachineClasses();
+  const scenario::Testbed& fleet_tb = *classes[0].testbed;
+
+  TablePrinter ft({"machines", "tenants", "policy", "solve (ms)",
+                   "migrations", "migration win"});
+  bool migration_win_8x64 = false;
+  for (auto [p, n] : {std::pair{2, 16}, {4, 32}, {8, 64}}) {
+    std::vector<advisor::FleetMachine> fleet = MakeFleet(classes, p);
+    std::vector<advisor::Tenant> tenants = MakeFleetTenants(fleet_tb, n);
+    for (const std::string& policy :
+         {std::string("first_fit_decreasing"), std::string("round_robin")}) {
+      FleetTiming timing = SolveFleet(fleet, tenants, policy);
+      ft.AddRow({std::to_string(p), std::to_string(n), policy,
+                 TablePrinter::Num(timing.solve_seconds * 1e3, 1),
+                 std::to_string(timing.migrations),
+                 TablePrinter::Pct(timing.migration_improvement, 2)});
+      const std::string suffix =
+          (policy == "round_robin" ? std::string("_rr") : std::string("_ffd")) +
+          "_p" + std::to_string(p) + "_t" + std::to_string(n);
+      RecordMetric("fleet_solve_latency_ms" + suffix,
+                   timing.solve_seconds * 1e3);
+      RecordMetric("fleet_migration_improvement" + suffix,
+                   timing.migration_improvement);
+      if (p == 8 && timing.migration_improvement > 0.0) {
+        migration_win_8x64 = true;
+      }
+    }
+  }
+  ft.Print();
+  RecordMetric("fleet_migration_wins_8x64", migration_win_8x64 ? 1.0 : 0.0);
+
+  // Single-PM parity: a fleet of one box must reproduce the plain
+  // advisor's recommendation bit-for-bit.
+  bool single_pm_identical = true;
+  {
+    std::vector<advisor::Tenant> tenants = MakeFleetTenants(fleet_tb, 8);
+    advisor::VirtualizationDesignAdvisor plain(fleet_tb.machine(), tenants);
+    advisor::Recommendation want = plain.Recommend();
+    advisor::FleetAdvisor single(
+        {advisor::FleetMachine{fleet_tb.machine()}}, tenants);
+    advisor::FleetRecommendation got = single.Recommend();
+    single_pm_identical =
+        got.allocations == want.allocations &&
+        got.estimated_seconds == want.estimated_seconds &&
+        got.violated_qos == want.violated_qos;
+    RecordMetric("fleet_single_pm_identical", single_pm_identical ? 1.0 : 0.0);
+    std::printf("single-PM fleet identical to plain advisor: %s\n",
+                single_pm_identical ? "yes" : "NO (bug)");
+  }
+
   RecordMetric("identical_allocations", all_identical ? 1.0 : 0.0);
   RecordMetric("hardware_threads",
                static_cast<double>(ThreadPool::DefaultThreads()));
@@ -209,6 +379,8 @@ int main() {
               "%s; %d worker threads)\n",
               speedup_n16, all_identical ? "yes" : "NO",
               ThreadPool::DefaultThreads());
+  std::printf("fleet migration win at 8x64: %s\n",
+              migration_win_8x64 ? "yes" : "NO (bug)");
   PrintFooter();
-  return all_identical ? 0 : 1;
+  return all_identical && single_pm_identical && migration_win_8x64 ? 0 : 1;
 }

@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Markdown link checker for the repo docs (stdlib only; CI-friendly).
 
-Usage: scripts/check_markdown_links.py FILE.md [FILE.md ...]
+Usage: scripts/check_markdown_links.py PATH [PATH ...]
+
+Each PATH is a markdown file or a directory; directories are searched
+recursively for ``*.md``, so ``docs`` covers the whole docs tree and a
+newly added page cannot be forgotten from the CI invocation.
 
 Checks, for every ``[text](target)`` and ``[text]: target`` link in the
 given markdown files:
@@ -85,6 +89,14 @@ def main(argv: list[str]) -> int:
     checked = 0
     for name in argv[1:]:
         path = pathlib.Path(name)
+        if path.is_dir():
+            files = sorted(path.rglob("*.md"))
+            if not files:
+                errors.append(f"{name}: directory holds no markdown files")
+            for md in files:
+                errors.extend(check_file(md))
+                checked += 1
+            continue
         if not path.is_file():
             errors.append(f"{name}: file not found")
             continue

@@ -1,0 +1,244 @@
+// Fleet-scale placement (beyond the paper): bin-pack tenants across many
+// heterogeneous physical machines, then run the per-PM advisor inside each
+// bin.
+//
+// The paper solves N tenants on ONE PhysicalMachine; production means
+// thousands of tenants across hundreds of heterogeneous boxes ("Towards
+// Building Autonomous Data Services on Azure" describes this exact
+// advisor-behind-a-control-plane shape). FleetAdvisor composes the
+// existing machinery: a pluggable PlacementPolicy (mirroring the
+// SearchStrategy registry) assigns tenants to machines from a what-if
+// demand matrix, every bin is solved by the ordinary
+// VirtualizationDesignAdvisor (per-PM solves fan out over
+// util::ThreadPool), and a migration repair loop proposes cross-machine
+// moves — a move type no single-PM enumerator can express — accepting
+// only cost-improving, QoS-respecting ones. All estimation goes through
+// the batched CostEstimator entry points (EstimateMany), so PR 3's
+// cross-tenant fan-out applies inside every bin and saturation probe.
+#ifndef VDBA_ADVISOR_FLEET_ADVISOR_H_
+#define VDBA_ADVISOR_FLEET_ADVISOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/tenant.h"
+#include "calib/calibration_model.h"
+#include "simdb/types.h"
+#include "simvm/hardware.h"
+#include "util/thread_pool.h"
+
+namespace vdba::advisor {
+
+/// One physical machine in the fleet: the hardware plus the per-flavor
+/// calibration models measured ON IT. Calibration is per-DBMS-per-machine
+/// (§4.3), so a tenant's R -> P mapping must be re-bound whenever it lands
+/// on — or migrates to — a different box. Null calibration pointers fall
+/// back to the tenant's own model (correct for homogeneous fleets where
+/// every box matches the machine the tenants were calibrated on).
+struct FleetMachine {
+  simvm::PhysicalMachine hardware;
+  const calib::CalibrationModel* pg_calibration = nullptr;
+  const calib::CalibrationModel* db2_calibration = nullptr;
+
+  /// Model for `flavor` on this box; null when the tenant's own applies.
+  const calib::CalibrationModel* CalibrationFor(
+      simdb::EngineFlavor flavor) const {
+    return flavor == simdb::EngineFlavor::kPostgres ? pg_calibration
+                                                    : db2_calibration;
+  }
+};
+
+/// What a PlacementPolicy packs by. Demands are WHAT-IF estimates probed
+/// through each machine's calibrated estimator, so machine heterogeneity
+/// (CPU speed, memory size, NIC speed via the per-machine calibration) is
+/// already folded in: a data-shipping-heavy tenant simply demands fewer
+/// seconds on a net-fast box.
+struct PlacementInput {
+  int num_machines = 0;
+  /// demand[i][m]: estimated seconds of tenant i's whole workload at 100%
+  /// of machine m (the tenant running alone on that box).
+  std::vector<std::vector<double>> demand;
+  /// Per-machine bin capacity in machine-local seconds: the perfectly
+  /// balanced fleet load times the configured headroom. A policy may
+  /// overflow a bin when nothing fits (bins have no hard physical limit —
+  /// overfull just means slower), but should treat capacity as the
+  /// balance target.
+  std::vector<double> capacity;
+
+  int num_tenants() const { return static_cast<int>(demand.size()); }
+};
+
+/// \brief Abstract tenant-to-machine placement: policy over the demand
+/// matrix, mirroring SearchStrategy's policy-over-mechanism split.
+///
+/// Contract: Place() returns exactly one machine index in
+/// [0, num_machines) per tenant; implementations must be deterministic
+/// (identical PlacementInput -> identical assignment, with ties broken by
+/// the lowest index) and stateless across calls (one instance may serve
+/// many fleets). Policies never call estimators — the FleetAdvisor probes
+/// the demand matrix once, through EstimateMany, before placement.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// \brief Assigns every tenant to a machine.
+  /// \param input Demand matrix and per-machine capacities; never empty.
+  /// \returns assignment[i] = machine index of tenant i.
+  virtual std::vector<int> Place(const PlacementInput& input) const = 0;
+
+  /// Registry key of this policy (what MakePlacementPolicy resolves).
+  virtual std::string_view name() const = 0;
+};
+
+/// Selects and parameterizes a placement policy; the string key lets
+/// benches/configs sweep policies without code changes, exactly like
+/// SearchSpec::strategy.
+struct PlacementSpec {
+  /// Registered keys: "first_fit_decreasing" (default; see
+  /// FirstFitDecreasingPolicy), "round_robin" (demand-blind baseline).
+  std::string policy = "first_fit_decreasing";
+  /// Bin capacity multiplier over the perfectly balanced per-machine
+  /// load. 1.0 forces near-perfect balance; larger values let the policy
+  /// trade balance for affinity (placing a tenant on the machine where it
+  /// is cheapest even when that machine is already busier).
+  double headroom = 1.2;
+};
+
+/// First-fit-decreasing over estimated resource demand: tenants sorted by
+/// their best-machine demand (largest first) are offered to machines in
+/// ascending order of that tenant's demand on the machine (cheapest box
+/// first — this is what routes shipping-heavy tenants to net-fast
+/// hardware); the first machine whose projected load stays within
+/// capacity takes the tenant, and when none fits the machine with the
+/// least loaded outcome does.
+class FirstFitDecreasingPolicy : public PlacementPolicy {
+ public:
+  std::vector<int> Place(const PlacementInput& input) const override;
+  std::string_view name() const override { return "first_fit_decreasing"; }
+};
+
+/// Demand-blind round-robin (tenant i -> machine i mod P): the control
+/// arm every demand-aware policy must beat.
+class RoundRobinPolicy : public PlacementPolicy {
+ public:
+  std::vector<int> Place(const PlacementInput& input) const override;
+  std::string_view name() const override { return "round_robin"; }
+};
+
+/// Builds the policy `spec.policy` names. Aborts (VDBA_CHECK) on an
+/// unregistered key, listing the known ones.
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(
+    const PlacementSpec& spec);
+
+/// Keys MakePlacementPolicy accepts, in registry order.
+std::vector<std::string> RegisteredPlacementPolicies();
+
+/// FleetAdvisor configuration.
+struct FleetOptions {
+  /// Which policy bin-packs tenants onto machines, and its knobs.
+  PlacementSpec placement;
+  /// Per-PM solve configuration (search strategy, move grid, estimator) —
+  /// the same AdvisorOptions a standalone VirtualizationDesignAdvisor
+  /// takes, applied inside every bin.
+  AdvisorOptions advisor;
+  /// Run the cross-machine migration repair loop after per-PM
+  /// convergence.
+  bool migrate = true;
+  /// Cap on ACCEPTED migrations (each accepted move re-solves two bins).
+  int max_migrations = 8;
+  /// Tenants offered per repair round (worst-degraded first) before the
+  /// loop declares convergence.
+  int migration_candidates = 3;
+  /// Worker threads of the fleet-level solve fan-out; 0 picks the
+  /// hardware-derived ThreadPool default. Results are identical for every
+  /// thread count.
+  int threads = 0;
+};
+
+/// One machine's slice of the fleet recommendation.
+struct MachineRecommendation {
+  /// Global tenant ids placed on this machine, ascending. May be empty
+  /// (an idle box).
+  std::vector<int> tenants;
+  /// The per-PM advisor's recommendation for exactly those tenants, in
+  /// the same order (default-constructed for idle boxes).
+  Recommendation recommendation;
+};
+
+/// A fleet-wide recommendation.
+struct FleetRecommendation {
+  /// assignment[i] = machine index of tenant i (post-migration).
+  std::vector<int> assignment;
+  /// Per-tenant allocation ON ITS MACHINE (dimensions follow that
+  /// machine's ResourceModel).
+  std::vector<simvm::ResourceVector> allocations;
+  /// Per-tenant estimated completion seconds at the recommendation.
+  std::vector<double> estimated_seconds;
+  /// Fleet objective: sum of gain-weighted estimated seconds over every
+  /// tenant. Seconds on different machines are directly comparable (each
+  /// is that tenant's predicted wall time on its box).
+  double total_cost = 0.0;
+  /// Global ids of tenants whose degradation limit could not be met.
+  std::vector<int> violated_qos;
+  /// Per-machine detail, indexed like the constructor's machine vector.
+  std::vector<MachineRecommendation> machines;
+  /// Accepted cross-machine migrations / proposals evaluated.
+  int migrations = 0;
+  int migration_attempts = 0;
+  /// Names of the placement policy and per-PM search strategy used.
+  std::string policy;
+  std::string strategy;
+};
+
+/// \brief The fleet advisor: bin-packs tenants across heterogeneous
+/// machines and solves each bin with the ordinary per-PM advisor.
+///
+/// Contract: Recommend() is deterministic — identical (machines, tenants,
+/// options) inputs yield bit-identical FleetRecommendations for every
+/// FleetOptions::threads value (bin solves are independent and the
+/// estimator contract guarantees thread-count-invariant values). With a
+/// single machine the result is bit-identical to
+/// VirtualizationDesignAdvisor::Recommend() on that machine (placement
+/// and migration both degenerate to no-ops). Accepted migrations never
+/// introduce a QoS violation that the pre-move state did not already
+/// have, and never increase total_cost.
+class FleetAdvisor {
+ public:
+  /// \param machines At least one machine; FleetMachine calibrations bind
+  ///   tenants to each box's own §4.3 models (null = keep the tenant's).
+  /// \param tenants At least one tenant; ids are indices into this vector.
+  FleetAdvisor(std::vector<FleetMachine> machines, std::vector<Tenant> tenants,
+               FleetOptions options = FleetOptions());
+
+  /// Places, solves every bin, then (optionally) runs migration repair.
+  FleetRecommendation Recommend();
+
+  int num_machines() const { return static_cast<int>(machines_.size()); }
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  struct BinState;
+
+  /// Tenant `i` with its calibration re-bound to machine `m`'s models.
+  Tenant BoundTenant(int i, const FleetMachine& m) const;
+  /// demand[i][m] for all tenants x machines (one EstimateMany per
+  /// machine, machines fanned over the fleet pool).
+  std::vector<std::vector<double>> DemandMatrix();
+  /// Solves one bin and probes its per-dimension saturation relief.
+  BinState SolveBin(int machine, std::vector<int> tenant_ids) const;
+  /// Gain-weighted estimated seconds of one solved bin.
+  double BinCost(const BinState& bin) const;
+
+  std::vector<FleetMachine> machines_;
+  std::vector<Tenant> tenants_;
+  FleetOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace vdba::advisor
+
+#endif  // VDBA_ADVISOR_FLEET_ADVISOR_H_

@@ -2,14 +2,21 @@
 #ifndef VDBA_SIMVM_HARDWARE_H_
 #define VDBA_SIMVM_HARDWARE_H_
 
+#include <string>
+
 #include "simvm/resource_vector.h"
 
 namespace vdba::simvm {
 
 /// Hardware capacities of the consolidation server. Defaults approximate
 /// the paper's testbed: two dual-core 2.2 GHz Opterons, 8 GB RAM, one
-/// SATA-era disk subsystem.
+/// SATA-era disk subsystem. A fleet (advisor/fleet_advisor.h) holds many
+/// of these with heterogeneous capacities; `name` identifies each box in
+/// fleet reports.
 struct PhysicalMachine {
+  /// Identity of this box in a heterogeneous fleet (placement tables,
+  /// migration logs). Purely descriptive — never keyed on.
+  std::string name = "pm";
   /// Total CPU capacity in abstract instructions/second (all cores).
   /// "Instructions" here are the simulator's CPU-work unit, not hardware
   /// instructions: 2.4e9/s models the paper's 4 x 2.2 GHz cores after IPC
