@@ -14,9 +14,13 @@ refresh; they start gating once ``--snapshot`` is re-run. Direction is
 derived from the metric name:
 
 * higher-is-better: names containing ``speedup``, ``improvement``,
-  ``identical``, or ``wins`` (ratios and quality scores — this covers
-  the fleet arm's ``fleet_migration_improvement_*`` /
-  ``fleet_migration_wins_8x64`` / ``fleet_single_pm_identical``);
+  ``identical``, ``wins``, or ``per_sec`` (ratios, quality scores, and
+  throughputs — this covers the fleet arm's
+  ``fleet_migration_improvement_*`` / ``fleet_migration_wins_8x64`` /
+  ``fleet_single_pm_identical`` and the probe-kernel
+  ``whatif_probes_per_sec_*``; the ``per_sec`` check runs before the
+  latency check, so the trailing ``sec`` segment of a throughput name
+  never flips it to lower-is-better);
 * lower-is-better: names ending in ``_ms``, ``_seconds``, ``_sec``, or
   containing ``latency`` (wall-clock style metrics, e.g. the fleet
   arm's ``fleet_solve_latency_ms_*``).
@@ -38,18 +42,27 @@ Refreshing the snapshot after an intentional change::
 ``--snapshot`` rewrites the baseline from the fresh results, keeping only
 gateable metrics (the volatile per-run ``wall_seconds`` is dropped) plus
 the ``hardware_threads`` provenance metric, which documents how parallel
-the snapshot's source host was. See docs/benchmarks.md for the full
-harness / schema / refresh walkthrough.
+the snapshot's source host was. A snapshot taken on a single-core host
+records degenerate parallel-speedup floors (fan-out speedups collapse to
+~1x there), so ``--snapshot`` refuses to run when the host has only one
+CPU unless ``--force`` is also given — forcing is legitimate when the
+single-core host IS the machine class the gate runs on, and the
+``hardware_threads`` provenance metric records that choice. See
+docs/benchmarks.md for the full harness / schema / refresh walkthrough.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
-HIGHER_BETTER_TOKENS = ("speedup", "improvement", "identical", "wins")
+# Checked before the latency segments, so `whatif_probes_per_sec_scalar`
+# gates higher-is-better despite its trailing `sec` segment.
+HIGHER_BETTER_TOKENS = ("speedup", "improvement", "identical", "wins",
+                        "per_sec")
 # Matched as name *segments* so `sequential_ms_n16` gates like `foo_ms`.
 LOWER_BETTER_SEGMENTS = ("ms", "seconds", "sec", "latency")
 # Never gated, but kept by --snapshot as provenance: records how parallel
@@ -84,7 +97,19 @@ def load_metrics(path: pathlib.Path) -> dict[str, float]:
     }
 
 
-def snapshot(results_dir: pathlib.Path, baseline_dir: pathlib.Path) -> int:
+def snapshot(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
+             force: bool) -> int:
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 and not force:
+        print(
+            "error: refusing to snapshot on a single-core host: parallel "
+            "speedup metrics degenerate to ~1x here and would set useless "
+            "baseline floors. Re-run with --force if this host is "
+            "representative of where the gate runs (the hardware_threads "
+            "provenance metric records it).",
+            file=sys.stderr,
+        )
+        return 2
     baseline_dir.mkdir(parents=True, exist_ok=True)
     for stale in baseline_dir.glob("BENCH_*.json"):
         stale.unlink()
@@ -216,6 +241,10 @@ def main() -> int:
     parser.add_argument("--snapshot", action="store_true",
                         help="rewrite the baseline from results_dir instead "
                              "of comparing")
+    parser.add_argument("--force", action="store_true",
+                        help="allow --snapshot on a single-core host "
+                             "(normally refused: parallel speedup floors "
+                             "from such a host are degenerate)")
     args = parser.parse_args()
 
     if not args.results_dir.is_dir():
@@ -223,7 +252,7 @@ def main() -> int:
               file=sys.stderr)
         return 2
     if args.snapshot:
-        return snapshot(args.results_dir, args.baseline_dir)
+        return snapshot(args.results_dir, args.baseline_dir, args.force)
     return compare(args.results_dir, args.baseline_dir, args.threshold,
                    args.latency_floor_ms)
 

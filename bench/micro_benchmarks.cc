@@ -2,11 +2,14 @@
 // optimizer calls, estimator caching (design decision D3), greedy
 // enumeration, batched what-if estimation, fitted-model evaluation, and
 // activity computation. main() additionally times EstimateBatch against
-// sequential estimation and records the speedup into
-// BENCH_micro_benchmarks.json via the bench_common metric hook.
+// sequential estimation and the what-if probe kernel (scalar vs vectorized
+// vs arena+vectorized arms, as probes/second) and records the speedups
+// into BENCH_micro_benchmarks.json via the bench_common metric hook.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -125,6 +128,31 @@ void BM_ComputeActivityQ18(benchmark::State& state) {
 }
 BENCHMARK(BM_ComputeActivityQ18);
 
+/// The vectorized probe kernel end-to-end: one greedy-iteration-shaped
+/// frontier of uncached probes through EstimateMany (arena + grid path).
+/// This is the nightly perf-stat profile target
+/// (--benchmark_filter=BM_WhatIfProbeKernel).
+void BM_WhatIfProbeKernel(benchmark::State& state) {
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload w = DssWorkload(tb);
+  std::vector<simvm::ResourceVector> grid = CandidateGrid(0.1);
+  std::vector<advisor::TenantAllocation> frontier;
+  frontier.reserve(grid.size());
+  for (const auto& r : grid) frontier.push_back({0, r});
+  advisor::WhatIfEstimatorOptions opts;
+  opts.batch_threads = 1;
+  for (auto _ : state) {
+    // Fresh estimator per iteration: every probe is a real optimizer round
+    // trip through the grid kernel, not a cache hit.
+    advisor::WhatIfCostEstimator est(
+        tb.machine(), {tb.MakeTenant(tb.pg_sf1(), w)}, opts);
+    benchmark::DoNotOptimize(est.EstimateMany(frontier));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(frontier.size()));
+}
+BENCHMARK(BM_WhatIfProbeKernel)->Unit(benchmark::kMillisecond);
+
 void BM_TrueWorkloadSeconds(benchmark::State& state) {
   scenario::Testbed& tb = SharedTestbed();
   simdb::Workload w;
@@ -195,6 +223,85 @@ void BM_EstimateBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimateBatch)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/// Times one greedy-shaped probe frontier through the what-if hot path
+/// three ways — probe-at-a-time scalar, vectorized grid kernel over
+/// heap-backed plan nodes, and vectorized kernel over arena-pooled nodes —
+/// and records probes/second per arm plus the arm-over-scalar speedups.
+/// The arena+vectorized speedup is this PR's acceptance metric (>= 3x on a
+/// single core: the win is algorithmic walk-sharing, not threads). All
+/// three arms must return bit-identical estimates.
+void RecordWhatIfProbeThroughput() {
+  scenario::Testbed& tb = SharedTestbed();
+  simdb::Workload w = DssWorkload(tb);
+  std::vector<simvm::ResourceVector> grid = CandidateGrid(0.1);
+  std::vector<advisor::TenantAllocation> frontier;
+  frontier.reserve(grid.size());
+  for (const auto& r : grid) frontier.push_back({0, r});
+
+  // Each arm builds a fresh estimator (all probes miss) and runs the whole
+  // frontier once; batch_threads=1 keeps the comparison about the kernel,
+  // not the pool.
+  auto time_arm = [&](bool vectorized, bool arena,
+                      std::vector<double>* out) {
+    advisor::WhatIfEstimatorOptions opts;
+    opts.vectorized_probes = vectorized;
+    opts.arena_plans = arena;
+    opts.batch_threads = 1;
+    advisor::WhatIfCostEstimator est(
+        tb.machine(), {tb.MakeTenant(tb.pg_sf1(), w)}, opts);
+    auto start = std::chrono::steady_clock::now();
+    if (vectorized) {
+      *out = est.EstimateMany(frontier);
+    } else {
+      // The pre-change sequential path: one optimizer call per
+      // (probe, statement), no sharing.
+      out->clear();
+      out->reserve(frontier.size());
+      for (const auto& item : frontier) {
+        out->push_back(est.EstimateSeconds(item.tenant, item.r));
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  auto median3 = [&](bool vectorized, bool arena, std::vector<double>* out) {
+    double a = time_arm(vectorized, arena, out);
+    double b = time_arm(vectorized, arena, out);
+    double c = time_arm(vectorized, arena, out);
+    double lo = std::min(a, std::min(b, c));
+    double hi = std::max(a, std::max(b, c));
+    return a + b + c - lo - hi;
+  };
+
+  std::vector<double> scalar_vals, vec_vals, arena_vals;
+  time_arm(false, true, &scalar_vals);  // warm testbed caches once
+  double scalar_s = median3(false, true, &scalar_vals);
+  double vec_s = median3(true, false, &vec_vals);
+  double arena_s = median3(true, true, &arena_vals);
+
+  bool identical = scalar_vals == vec_vals && scalar_vals == arena_vals;
+  const double probes = static_cast<double>(frontier.size());
+  double scalar_rate = scalar_s > 0.0 ? probes / scalar_s : 0.0;
+  double vec_rate = vec_s > 0.0 ? probes / vec_s : 0.0;
+  double arena_rate = arena_s > 0.0 ? probes / arena_s : 0.0;
+  std::printf(
+      "what-if probe throughput (%zu probes x %zu stmts): scalar %.0f/s, "
+      "vectorized %.0f/s (%.2fx), arena+vectorized %.0f/s (%.2fx), "
+      "identical estimates: %s\n",
+      frontier.size(), w.statements.size(), scalar_rate, vec_rate,
+      scalar_s / vec_s, arena_rate, scalar_s / arena_s,
+      identical ? "yes" : "NO (bug)");
+  RecordMetric("whatif_probes_per_sec_scalar", scalar_rate);
+  RecordMetric("whatif_probes_per_sec_vectorized", vec_rate);
+  RecordMetric("whatif_probes_per_sec_arena_vectorized", arena_rate);
+  RecordMetric("whatif_vectorized_speedup",
+               vec_s > 0.0 ? scalar_s / vec_s : 0.0);
+  RecordMetric("whatif_arena_vectorized_speedup",
+               arena_s > 0.0 ? scalar_s / arena_s : 0.0);
+  RecordMetric("whatif_probe_results_identical", identical ? 1.0 : 0.0);
+}
 
 /// Times one full-grid estimation pass sequentially vs batched and records
 /// the wall-time speedup (the acceptance metric for the batch API).
@@ -278,6 +385,9 @@ void RecordEstimateBatchSpeedup() {
   RecordMetric("estimate_many_sequential_ms", many_seq * 1e3);
   RecordMetric("estimate_many_parallel_ms", many_batch * 1e3);
   RecordMetric("estimate_many_speedup", many_speedup);
+
+  // Probe-throughput arms share the artifact's JSON record.
+  RecordWhatIfProbeThroughput();
   PrintFooter();
 }
 

@@ -21,6 +21,11 @@
 // placement on total estimated cost for at least one placement policy,
 // and a single-machine fleet must reproduce the plain advisor's
 // recommendation bit-for-bit.
+//
+// Arm 3 times FleetAdvisor's demand-matrix probing with and without
+// machine-class sharing (machines with identical hardware + calibrations
+// share one what-if probe column): the matrices must be bit-identical and
+// the wall-clock speedup tracks distinct-classes / machines.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -353,6 +358,46 @@ int main() {
   ft.Print();
   RecordMetric("fleet_migration_wins_8x64", migration_win_8x64 ? 1.0 : 0.0);
 
+  // --- Probe-sharing arm: 8 machines cycling through the 3 classes, so
+  // class sharing probes 3 demand columns instead of 8. The matrices must
+  // be bit-identical — classmates copy the representative's column. ---
+  bool probe_sharing_identical = true;
+  {
+    const int p = 8;
+    std::vector<advisor::FleetMachine> fleet = MakeFleet(classes, p);
+    std::vector<advisor::Tenant> tenants = MakeFleetTenants(fleet_tb, 16);
+    auto time_probe = [&](bool share, std::vector<std::vector<double>>* out,
+                          int* columns) {
+      advisor::FleetOptions fopts;
+      fopts.share_demand_probes = share;
+      advisor::FleetAdvisor adv(fleet, tenants, fopts);
+      auto start = std::chrono::steady_clock::now();
+      *out = adv.ProbeDemandMatrix();
+      double seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      *columns = adv.demand_columns_probed();
+      return seconds;
+    };
+    std::vector<std::vector<double>> unshared_demand, shared_demand;
+    int unshared_cols = 0, shared_cols = 0;
+    double unshared_s = time_probe(false, &unshared_demand, &unshared_cols);
+    double shared_s = time_probe(true, &shared_demand, &shared_cols);
+    probe_sharing_identical = shared_demand == unshared_demand;
+    double sharing_speedup = shared_s > 0.0 ? unshared_s / shared_s : 0.0;
+    std::printf("demand probe sharing (8 machines, 3 classes, 16 tenants): "
+                "%d -> %d columns probed, %.1f ms -> %.1f ms (%.2fx), "
+                "identical matrices: %s\n",
+                unshared_cols, shared_cols, unshared_s * 1e3, shared_s * 1e3,
+                sharing_speedup,
+                probe_sharing_identical ? "yes" : "NO (bug)");
+    RecordMetric("fleet_demand_probe_sharing_speedup", sharing_speedup);
+    RecordMetric("fleet_demand_probe_identical",
+                 probe_sharing_identical ? 1.0 : 0.0);
+    RecordMetric("fleet_demand_columns_unshared", unshared_cols);
+    RecordMetric("fleet_demand_columns_shared", shared_cols);
+  }
+
   // Single-PM parity: a fleet of one box must reproduce the plain
   // advisor's recommendation bit-for-bit.
   bool single_pm_identical = true;
@@ -382,5 +427,8 @@ int main() {
   std::printf("fleet migration win at 8x64: %s\n",
               migration_win_8x64 ? "yes" : "NO (bug)");
   PrintFooter();
-  return all_identical && single_pm_identical && migration_win_8x64 ? 0 : 1;
+  return all_identical && single_pm_identical && migration_win_8x64 &&
+                 probe_sharing_identical
+             ? 0
+             : 1;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <numeric>
+#include <utility>
 
 #include "util/check.h"
 
@@ -92,11 +94,21 @@ WhatIfCostEstimator::CacheValue WhatIfCostEstimator::Compute(
 const WhatIfCostEstimator::CacheValue& WhatIfCostEstimator::Insert(
     const CacheKey& key, int tenant, const simvm::ResourceVector& r,
     CacheValue value) {
-  auto [pos, inserted] = cache_.emplace(key, std::move(value));
-  VDBA_CHECK(inserted);
-  observations_[static_cast<size_t>(tenant)].push_back(
-      WhatIfObservation{r, pos->second.est_seconds, pos->second.signature});
-  return pos->second;
+  CacheShard& shard = ShardFor(key);
+  const CacheValue* pos = nullptr;
+  bool inserted = false;
+  {
+    std::unique_lock lock(shard.mu);
+    auto [it, ins] = shard.map.emplace(key, std::move(value));
+    pos = &it->second;
+    inserted = ins;
+  }
+  if (inserted) {
+    std::lock_guard lock(observations_mu_);
+    observations_[static_cast<size_t>(tenant)].push_back(
+        WhatIfObservation{r, pos->est_seconds, pos->signature});
+  }
+  return *pos;
 }
 
 const WhatIfCostEstimator::CacheValue& WhatIfCostEstimator::Lookup(
@@ -109,12 +121,18 @@ const WhatIfCostEstimator::CacheValue& WhatIfCostEstimator::Lookup(
   // vectors uniform (missing dimensions are unallocated = share 1).
   simvm::ResourceVector canon = r.Expanded(num_dims());
   CacheKey key = MakeKey(tenant, canon);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
+  CacheShard& shard = ShardFor(key);
+  {
+    std::shared_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  CacheValue value = Compute(tenant, canon, &optimizer_calls_);
+  long calls = 0;
+  CacheValue value = Compute(tenant, canon, &calls);
+  optimizer_calls_.fetch_add(calls, std::memory_order_relaxed);
   return Insert(key, tenant, canon, std::move(value));
 }
 
@@ -124,6 +142,7 @@ double WhatIfCostEstimator::EstimateSeconds(int tenant,
 }
 
 ThreadPool* WhatIfCostEstimator::pool() {
+  std::lock_guard lock(pool_mu_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(options_.batch_threads);
   }
@@ -140,17 +159,122 @@ std::vector<double> WhatIfCostEstimator::EstimateBatch(
   return EstimateMany(batch);
 }
 
+struct WhatIfCostEstimator::Miss {
+  CacheKey key;
+  int tenant;
+  simvm::ResourceVector r;
+  CacheValue value;
+  long calls = 0;
+};
+
+void WhatIfCostEstimator::ComputeMissesVectorized(std::vector<Miss>* misses) {
+  // Group misses by tenant (first-seen order): every probe of one tenant
+  // prices the same workload, so one grid call per statement covers the
+  // whole group.
+  std::vector<int> group_tenant;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t m = 0; m < misses->size(); ++m) {
+    int tenant = (*misses)[m].tenant;
+    size_t g = 0;
+    while (g < group_tenant.size() && group_tenant[g] != tenant) ++g;
+    if (g == group_tenant.size()) {
+      group_tenant.push_back(tenant);
+      groups.emplace_back();
+    }
+    groups[g].push_back(m);
+  }
+
+  // Calibrated parameter vectors per group member (the scalar path derives
+  // them identically inside Compute).
+  std::vector<std::vector<simdb::EngineParams>> group_params(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const Tenant& t = tenants_[static_cast<size_t>(group_tenant[g])];
+    group_params[g].reserve(groups[g].size());
+    for (size_t m : groups[g]) {
+      const Miss& miss = (*misses)[m];
+      group_params[g].push_back(
+          t.calibration->ParamsFor(miss.r, machine_.VmMemoryMb(miss.r)));
+    }
+  }
+
+  // One task per (group, statement); each prices all group members.
+  struct StmtTask {
+    size_t group;
+    size_t stmt;
+  };
+  std::vector<StmtTask> tasks;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const Tenant& t = tenants_[static_cast<size_t>(group_tenant[g])];
+    for (size_t s = 0; s < t.workload.statements.size(); ++s) {
+      tasks.push_back(StmtTask{g, s});
+    }
+  }
+  std::vector<std::vector<double>> task_native(tasks.size());
+  std::vector<std::vector<std::string>> task_sig(tasks.size());
+  // task_of[g * max_stmts + s] would waste space; index per group instead.
+  std::vector<std::vector<size_t>> task_of(groups.size());
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    task_of[tasks[ti].group].push_back(ti);
+  }
+
+  auto run_task = [&](size_t ti) {
+    const StmtTask& task = tasks[ti];
+    const Tenant& t = tenants_[static_cast<size_t>(group_tenant[task.group])];
+    const auto& stmt = t.workload.statements[task.stmt];
+    simdb::GridOptions grid;
+    grid.pooled_nodes = options_.arena_plans;
+    std::vector<simdb::OptimizeResult> results =
+        t.engine->WhatIfOptimizeGrid(stmt.query, group_params[task.group],
+                                     grid);
+    std::vector<double>& native = task_native[ti];
+    std::vector<std::string>& sig = task_sig[ti];
+    native.resize(results.size());
+    sig.resize(results.size());
+    for (size_t j = 0; j < results.size(); ++j) {
+      native[j] = results[j].native_cost;
+      sig[j] = std::move(results[j].signature);
+    }
+  };
+
+  if (tasks.size() > 1) {
+    // Largest probe groups first: one big tenant picked up last would
+    // serialize the tail (same LPT rationale as the scalar fan-out).
+    std::vector<size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return groups[tasks[a].group].size() > groups[tasks[b].group].size();
+    });
+    pool()->ParallelForOrder(order, run_task);
+  } else if (tasks.size() == 1) {
+    run_task(0);
+  }
+
+  // Assemble per-miss totals in statement order — the exact accumulation
+  // (and string concatenation) sequence of the scalar Compute.
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const Tenant& t = tenants_[static_cast<size_t>(group_tenant[g])];
+    for (size_t j = 0; j < groups[g].size(); ++j) {
+      Miss& miss = (*misses)[groups[g][j]];
+      double total = 0.0;
+      std::string signature;
+      for (size_t s = 0; s < t.workload.statements.size(); ++s) {
+        const auto& stmt = t.workload.statements[s];
+        size_t ti = task_of[g][s];
+        total += t.calibration->ToSeconds(task_native[ti][j], miss.r) *
+                 stmt.frequency;
+        signature += task_sig[ti][j];
+        signature += ';';
+      }
+      miss.value = CacheValue{total, std::move(signature)};
+      miss.calls = static_cast<long>(t.workload.statements.size());
+    }
+  }
+}
+
 std::vector<double> WhatIfCostEstimator::EstimateMany(
     std::span<const TenantAllocation> batch) {
   // Partition the batch into cache hits and distinct misses (first
   // occurrence wins, exactly as a sequential run would).
-  struct Miss {
-    CacheKey key;
-    int tenant;
-    simvm::ResourceVector r;
-    CacheValue value;
-    long calls = 0;
-  };
   std::vector<Miss> misses;
   // Per-item: index into `misses` for the FIRST occurrence of an uncached
   // key, -1 for cached keys and later duplicates (which replay as cache
@@ -164,7 +288,11 @@ std::vector<double> WhatIfCostEstimator::EstimateMany(
     simvm::ResourceVector r = batch[i].r.Expanded(num_dims());
     VDBA_CHECK_MSG(r.Valid(), "invalid allocation %s", r.ToString().c_str());
     CacheKey key = MakeKey(tenant, r);
-    if (cache_.contains(key)) continue;
+    {
+      CacheShard& shard = ShardFor(key);
+      std::shared_lock lock(shard.mu);
+      if (shard.map.contains(key)) continue;
+    }
     auto [it, inserted] =
         pending.emplace(key, static_cast<int>(misses.size()));
     if (inserted) {
@@ -173,13 +301,22 @@ std::vector<double> WhatIfCostEstimator::EstimateMany(
     }
   }
 
-  // Fan the distinct misses out: the what-if computation is pure, so
-  // parallel execution is bitwise-identical to sequential. Tenants are
-  // heterogeneous, so claim heavy workloads first (LPT) — a large tenant
-  // picked up last would leave one worker grinding alone at the tail.
-  if (misses.size() > 1) {
+  // One miss fan-out at a time: the pool rejects concurrent ParallelFor
+  // submissions, and serializing here keeps concurrent EstimateMany
+  // callers safe without a pool redesign.
+  std::unique_lock batch_lock(batch_mu_, std::defer_lock);
+  if (!misses.empty()) batch_lock.lock();
+
+  if (options_.vectorized_probes) {
+    if (!misses.empty()) ComputeMissesVectorized(&misses);
+  } else if (misses.size() > 1) {
+    // Probe-at-a-time arm: fan the distinct misses out; the what-if
+    // computation is pure, so parallel execution is bitwise-identical to
+    // sequential. Tenants are heterogeneous, so claim heavy workloads
+    // first (LPT) — a large tenant picked up last would leave one worker
+    // grinding alone at the tail.
     std::vector<size_t> order(misses.size());
-    for (size_t m = 0; m < order.size(); ++m) order[m] = m;
+    std::iota(order.begin(), order.end(), size_t{0});
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return tenants_[static_cast<size_t>(misses[a].tenant)]
                  .workload.statements.size() >
@@ -194,6 +331,7 @@ std::vector<double> WhatIfCostEstimator::EstimateMany(
     misses[0].value = Compute(misses[0].tenant, misses[0].r,
                               &misses[0].calls);
   }
+  if (batch_lock.owns_lock()) batch_lock.unlock();
 
   // Commit results in the order a sequential run would have: walk the
   // items, inserting each first-seen miss, counting later duplicates and
@@ -203,7 +341,7 @@ std::vector<double> WhatIfCostEstimator::EstimateMany(
     int m = miss_index[i];
     if (m >= 0) {
       Miss& miss = misses[static_cast<size_t>(m)];
-      optimizer_calls_ += miss.calls;
+      optimizer_calls_.fetch_add(miss.calls, std::memory_order_relaxed);
       out[i] = Insert(miss.key, miss.tenant, miss.r, std::move(miss.value))
                    .est_seconds;
     } else {
@@ -224,13 +362,19 @@ void WhatIfCostEstimator::SetWorkload(int tenant, simdb::Workload workload) {
   VDBA_CHECK_GE(tenant, 0);
   VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
   tenants_[static_cast<size_t>(tenant)].workload = std::move(workload);
-  observations_[static_cast<size_t>(tenant)].clear();
+  {
+    std::lock_guard lock(observations_mu_);
+    observations_[static_cast<size_t>(tenant)].clear();
+  }
   // Drop the tenant's cache entries.
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (it->first.tenant == tenant) {
-      it = cache_.erase(it);
-    } else {
-      ++it;
+  for (CacheShard& shard : cache_shards_) {
+    std::unique_lock lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->first.tenant == tenant) {
+        it = shard.map.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }

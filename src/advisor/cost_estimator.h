@@ -13,7 +13,10 @@
 #define VDBA_ADVISOR_COST_ESTIMATOR_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -113,9 +116,25 @@ struct WhatIfEstimatorOptions {
   /// Worker threads for EstimateBatch; 0 picks a small hardware-derived
   /// default. Results are identical for every thread count.
   int batch_threads = 0;
+  /// Route uncached probes through the batched what-if kernel
+  /// (Optimizer::OptimizeGrid): one enumeration pass per (tenant,
+  /// statement, memory-context group) prices every pending candidate.
+  /// Results are bit-identical to the scalar path; false restores the
+  /// probe-at-a-time fan-out (the benches' comparison arm).
+  bool vectorized_probes = true;
+  /// Allocate grid candidate plans from pooled arena slabs (see
+  /// GridOptions::pooled_nodes); only meaningful with vectorized_probes.
+  bool arena_plans = true;
 };
 
 /// Calibrated what-if estimator over a set of tenants.
+///
+/// Thread safety: concurrent EstimateSeconds / EstimateBatch /
+/// EstimateMany calls from multiple threads are safe — the cache is
+/// sharded under reader-writer locks, the observation log and counters
+/// are internally synchronized, and the what-if computation itself is
+/// pure. SetWorkload and mutable_tenant are NOT safe concurrently with
+/// estimation.
 class WhatIfCostEstimator : public CostEstimator {
  public:
   WhatIfCostEstimator(const simvm::PhysicalMachine& machine,
@@ -129,17 +148,19 @@ class WhatIfCostEstimator : public CostEstimator {
   }
   int num_dims() const override { return machine_.resources->dims(); }
 
-  /// Parallel what-if estimation: uncached candidates fan out over a small
-  /// thread pool (the optimizer's what-if mode is pure); cache and
-  /// observation log end up exactly as if the batch had run sequentially.
+  /// Parallel what-if estimation: uncached candidates go through the
+  /// vectorized probe kernel (or fan out probe-at-a-time when
+  /// vectorized_probes is off); cache and observation log end up exactly
+  /// as if the batch had run sequentially.
   std::vector<double> EstimateBatch(
       int tenant,
       std::span<const simvm::ResourceVector> candidates) override;
 
-  /// Cross-tenant parallel what-if estimation: every distinct uncached
-  /// (tenant, allocation) probe fans out over the thread pool at once,
-  /// heaviest workloads first (LPT scheduling — tenants are heterogeneous,
-  /// and a large tenant scheduled last would serialize the tail). Results,
+  /// Cross-tenant what-if estimation. Distinct uncached (tenant,
+  /// allocation) probes are grouped by tenant and priced through
+  /// WhatIfOptimizeGrid — one join enumeration per (statement,
+  /// memory-context group) instead of one per probe; (tenant, statement)
+  /// tasks fan out over the thread pool, heaviest groups first. Results,
   /// cache state, observation logs, and the optimizer-call/cache-hit
   /// counters are exactly those of the equivalent sequential run.
   std::vector<double> EstimateMany(
@@ -162,9 +183,13 @@ class WhatIfCostEstimator : public CostEstimator {
   }
 
   /// Total optimizer invocations (per workload statement).
-  long optimizer_calls() const { return optimizer_calls_; }
+  long optimizer_calls() const {
+    return optimizer_calls_.load(std::memory_order_relaxed);
+  }
   /// Estimates served from cache.
-  long cache_hits() const { return cache_hits_; }
+  long cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct CacheKey {
@@ -179,12 +204,33 @@ class WhatIfCostEstimator : public CostEstimator {
     double est_seconds;
     std::string signature;
   };
+  /// One cache shard: entries whose key hash lands on it, under a
+  /// reader-writer lock. References into `map` stay valid across inserts
+  /// (node-based container; only SetWorkload erases).
+  struct CacheShard {
+    std::shared_mutex mu;
+    std::unordered_map<CacheKey, CacheValue, CacheKeyHash> map;
+  };
+  static constexpr size_t kCacheShards = 16;
+
+  struct Miss;  // one distinct uncached probe of an EstimateMany batch
 
   CacheKey MakeKey(int tenant, const simvm::ResourceVector& r) const;
+  CacheShard& ShardFor(const CacheKey& key) {
+    return cache_shards_[CacheKeyHash{}(key) % kCacheShards];
+  }
   /// Pure what-if computation (no cache/log mutation; thread-safe).
   CacheValue Compute(int tenant, const simvm::ResourceVector& r,
                      long* calls) const;
-  /// Inserts a computed value into cache + observation log.
+  /// Fills every miss's value via the batched what-if kernel: misses
+  /// grouped by tenant, one WhatIfOptimizeGrid call per (group,
+  /// statement) task, tasks fanned over the pool. Bit-identical to
+  /// calling Compute per miss.
+  void ComputeMissesVectorized(std::vector<Miss>* misses);
+  /// Inserts a computed value into cache + observation log. If another
+  /// thread committed the key first, the existing entry wins (values are
+  /// deterministic, so they agree) and no duplicate observation is
+  /// logged.
   const CacheValue& Insert(const CacheKey& key, int tenant,
                            const simvm::ResourceVector& r, CacheValue value);
   const CacheValue& Lookup(int tenant, const simvm::ResourceVector& r);
@@ -194,10 +240,18 @@ class WhatIfCostEstimator : public CostEstimator {
   WhatIfEstimatorOptions options_;
   std::vector<Tenant> tenants_;
   std::vector<std::vector<WhatIfObservation>> observations_;
-  std::unordered_map<CacheKey, CacheValue, CacheKeyHash> cache_;
+  std::mutex observations_mu_;
+  std::array<CacheShard, kCacheShards> cache_shards_;
+  std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;  ///< Lazily created on first batch.
-  long optimizer_calls_ = 0;
-  long cache_hits_ = 0;
+  /// Serializes miss fan-outs: ThreadPool rejects concurrent ParallelFor
+  /// submissions, so when several threads hit EstimateMany at once, one
+  /// computes its misses while the others wait their turn (values are
+  /// deterministic, so recomputing a key another batch already filled is
+  /// wasted work at worst, never a wrong answer).
+  std::mutex batch_mu_;
+  std::atomic<long> optimizer_calls_{0};
+  std::atomic<long> cache_hits_{0};
 };
 
 }  // namespace vdba::advisor

@@ -18,6 +18,24 @@ namespace {
 /// role in the enumerators).
 constexpr double kFleetEpsilon = 1e-12;
 
+/// True when two fleet machines are interchangeable for what-if
+/// estimation: identical hardware capacities, the same ResourceModel, and
+/// the same calibration bindings. The estimate is a pure function of
+/// exactly these inputs, so classmates get bit-identical demand columns.
+/// PhysicalMachine::name is deliberately excluded (purely descriptive).
+bool SameMachineClass(const FleetMachine& a, const FleetMachine& b) {
+  return a.hardware.cpu_ops_per_sec == b.hardware.cpu_ops_per_sec &&
+         a.hardware.memory_mb == b.hardware.memory_mb &&
+         a.hardware.seq_page_ms == b.hardware.seq_page_ms &&
+         a.hardware.rand_page_ms == b.hardware.rand_page_ms &&
+         a.hardware.write_page_ms == b.hardware.write_page_ms &&
+         a.hardware.log_ms_per_mb == b.hardware.log_ms_per_mb &&
+         a.hardware.net_page_ms == b.hardware.net_page_ms &&
+         a.hardware.resources == b.hardware.resources &&
+         a.pg_calibration == b.pg_calibration &&
+         a.db2_calibration == b.db2_calibration;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -178,18 +196,42 @@ Tenant FleetAdvisor::BoundTenant(int i, const FleetMachine& m) const {
   return t;
 }
 
-std::vector<std::vector<double>> FleetAdvisor::DemandMatrix() {
+std::vector<std::vector<double>> FleetAdvisor::ProbeDemandMatrix() {
   const int t = num_tenants();
   const int p = num_machines();
+  if (pool_ == nullptr && p > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
   // demand[i][m], filled one machine (column) at a time.
   std::vector<std::vector<double>> demand(
       static_cast<size_t>(t), std::vector<double>(static_cast<size_t>(p)));
+
+  // Machine-class memo: rep[m] = index of the first machine of m's class.
+  // Only representatives are probed; classmates copy the column (their
+  // estimates are bit-identical — see SameMachineClass).
+  std::vector<size_t> rep(static_cast<size_t>(p));
+  std::vector<size_t> probe_list;
+  for (int m = 0; m < p; ++m) {
+    size_t r = static_cast<size_t>(m);
+    if (options_.share_demand_probes) {
+      for (size_t e : probe_list) {
+        if (SameMachineClass(machines_[e], machines_[static_cast<size_t>(m)])) {
+          r = e;
+          break;
+        }
+      }
+    }
+    rep[static_cast<size_t>(m)] = r;
+    if (r == static_cast<size_t>(m)) probe_list.push_back(r);
+  }
+  demand_columns_probed_ = static_cast<int>(probe_list.size());
 
   // Per-PM solves run in parallel later, so keep each machine's demand
   // estimator single-threaded and fan across machines instead.
   WhatIfEstimatorOptions est_opts = options_.advisor.estimator;
   est_opts.batch_threads = 1;
-  auto probe_machine = [&](size_t m) {
+  auto probe_machine = [&](size_t pi) {
+    const size_t m = probe_list[pi];
     const FleetMachine& machine = machines_[m];
     std::vector<Tenant> bound;
     bound.reserve(static_cast<size_t>(t));
@@ -209,10 +251,20 @@ std::vector<std::vector<double>> FleetAdvisor::DemandMatrix() {
       demand[static_cast<size_t>(i)][m] = est[static_cast<size_t>(i)];
     }
   };
-  if (pool_ != nullptr && p > 1) {
-    pool_->ParallelFor(static_cast<size_t>(p), probe_machine);
+  if (pool_ != nullptr && probe_list.size() > 1) {
+    pool_->ParallelFor(probe_list.size(), probe_machine);
   } else {
-    for (int m = 0; m < p; ++m) probe_machine(static_cast<size_t>(m));
+    for (size_t pi = 0; pi < probe_list.size(); ++pi) probe_machine(pi);
+  }
+
+  // Copy representative columns to classmates.
+  for (int m = 0; m < p; ++m) {
+    const size_t r = rep[static_cast<size_t>(m)];
+    if (r == static_cast<size_t>(m)) continue;
+    for (int i = 0; i < t; ++i) {
+      demand[static_cast<size_t>(i)][static_cast<size_t>(m)] =
+          demand[static_cast<size_t>(i)][r];
+    }
   }
   return demand;
 }
@@ -297,7 +349,7 @@ FleetRecommendation FleetAdvisor::Recommend() {
   } else {
     PlacementInput input;
     input.num_machines = p;
-    input.demand = DemandMatrix();
+    input.demand = ProbeDemandMatrix();
     // Balanced-load capacity: distributing work proportionally to machine
     // speed gives every box the same local-seconds load W / sum(speed);
     // headroom scales that shared target.

@@ -156,6 +156,14 @@ struct FleetOptions {
   /// hardware-derived ThreadPool default. Results are identical for every
   /// thread count.
   int threads = 0;
+  /// Probe the demand matrix once per MACHINE CLASS instead of once per
+  /// machine: boxes with identical hardware capacities, resource model,
+  /// and calibration bindings get byte-identical demand columns, so one
+  /// representative probe serves them all. Fleets are typically a few
+  /// SKUs replicated hundreds of times, so this collapses the dominant
+  /// probing cost. Results are bit-identical either way; false restores
+  /// the per-machine probe (the benches' comparison arm).
+  bool share_demand_probes = true;
 };
 
 /// One machine's slice of the fleet recommendation.
@@ -216,6 +224,22 @@ class FleetAdvisor {
   /// Places, solves every bin, then (optionally) runs migration repair.
   FleetRecommendation Recommend();
 
+  /// \brief demand[i][m] for all tenants x machines: estimated seconds of
+  /// tenant i's whole workload running alone at 100% of machine m.
+  ///
+  /// One EstimateMany per probed machine, probes fanned over the fleet
+  /// pool. With FleetOptions::share_demand_probes, only one machine per
+  /// machine class is probed and its column is copied to every classmate
+  /// (identical hardware + calibration imply identical estimates —
+  /// the what-if computation is a pure function of both). Exposed for
+  /// benches/tests; Recommend() calls it internally.
+  std::vector<std::vector<double>> ProbeDemandMatrix();
+
+  /// Demand columns actually probed by the last ProbeDemandMatrix call:
+  /// num_machines() when sharing is off, the number of distinct machine
+  /// classes when on.
+  int demand_columns_probed() const { return demand_columns_probed_; }
+
   int num_machines() const { return static_cast<int>(machines_.size()); }
   int num_tenants() const { return static_cast<int>(tenants_.size()); }
   const FleetOptions& options() const { return options_; }
@@ -225,9 +249,6 @@ class FleetAdvisor {
 
   /// Tenant `i` with its calibration re-bound to machine `m`'s models.
   Tenant BoundTenant(int i, const FleetMachine& m) const;
-  /// demand[i][m] for all tenants x machines (one EstimateMany per
-  /// machine, machines fanned over the fleet pool).
-  std::vector<std::vector<double>> DemandMatrix();
   /// Solves one bin and probes its per-dimension saturation relief.
   BinState SolveBin(int machine, std::vector<int> tenant_ids) const;
   /// Gain-weighted estimated seconds of one solved bin.
@@ -237,6 +258,7 @@ class FleetAdvisor {
   std::vector<Tenant> tenants_;
   FleetOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  int demand_columns_probed_ = 0;
 };
 
 }  // namespace vdba::advisor

@@ -1,0 +1,38 @@
+#include "simdb/cost_model.h"
+
+#include "util/check.h"
+
+namespace vdba::simdb {
+
+namespace {
+
+/// Fallback pricer: per-member NativeCost loop. Correct for any cost model
+/// (it IS the scalar path), just without the struct-of-arrays layout.
+class LoopBatchPricer : public BatchPricer {
+ public:
+  LoopBatchPricer(const CostModel& model,
+                  std::span<const EngineParams> params)
+      : model_(model), params_(params.begin(), params.end()) {}
+
+  void Price(const Activity& activity, std::span<double> out) const override {
+    VDBA_CHECK_EQ(out.size(), params_.size());
+    for (size_t k = 0; k < params_.size(); ++k) {
+      out[k] = model_.NativeCost(activity, params_[k]);
+    }
+  }
+
+  size_t batch_size() const override { return params_.size(); }
+
+ private:
+  const CostModel& model_;
+  std::vector<EngineParams> params_;
+};
+
+}  // namespace
+
+std::unique_ptr<BatchPricer> CostModel::MakeBatchPricer(
+    std::span<const EngineParams> params) const {
+  return std::make_unique<LoopBatchPricer>(*this, params);
+}
+
+}  // namespace vdba::simdb

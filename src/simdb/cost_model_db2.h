@@ -45,6 +45,12 @@ class Db2CostModel : public CostModel {
   double NativeCost(const Activity& activity,
                     const EngineParams& params) const override;
 
+  /// Struct-of-arrays pricer: one array per Table III parameter, the
+  /// instruction count computed once per Price() call. Bit-identical to
+  /// NativeCost.
+  std::unique_ptr<BatchPricer> MakeBatchPricer(
+      std::span<const EngineParams> params) const override;
+
   MemoryContext EstimationContext(const EngineParams& params) const override;
 
   MemoryContext ExecutionContext(const EngineParams& params) const override;

@@ -19,6 +19,11 @@ class PgCostModel : public CostModel {
   double NativeCost(const Activity& activity,
                     const EngineParams& params) const override;
 
+  /// Struct-of-arrays pricer: one array per Table II parameter, activity
+  /// sums hoisted once per Price() call. Bit-identical to NativeCost.
+  std::unique_ptr<BatchPricer> MakeBatchPricer(
+      std::span<const EngineParams> params) const override;
+
   MemoryContext EstimationContext(const EngineParams& params) const override;
 };
 

@@ -51,6 +51,12 @@ OptimizeResult DbEngine::WhatIfOptimize(const QuerySpec& query,
   return optimizer_.Optimize(query, params);
 }
 
+std::vector<OptimizeResult> DbEngine::WhatIfOptimizeGrid(
+    const QuerySpec& query, std::span<const EngineParams> params,
+    const GridOptions& options) const {
+  return optimizer_.OptimizeGrid(query, params, options);
+}
+
 EngineParams DbEngine::DefaultParams() const {
   if (flavor_ == EngineFlavor::kPostgres) return PgParams{};
   return Db2Params{};

@@ -12,7 +12,9 @@
 #define VDBA_SIMDB_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "simdb/catalog.h"
 #include "simdb/cost_model.h"
@@ -44,6 +46,12 @@ class DbEngine {
   /// What-if optimizer call: plan + native-unit cost under `params`.
   OptimizeResult WhatIfOptimize(const QuerySpec& query,
                                 const EngineParams& params) const;
+
+  /// Batched what-if: one enumeration pass per memory-context group prices
+  /// every vector of `params`. Bit-identical to per-vector WhatIfOptimize.
+  std::vector<OptimizeResult> WhatIfOptimizeGrid(
+      const QuerySpec& query, std::span<const EngineParams> params,
+      const GridOptions& options = GridOptions()) const;
 
   /// Parameter vector the engine actually runs with inside a VM:
   /// descriptive parameters reflecting true hardware rates under `env`

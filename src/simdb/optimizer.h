@@ -7,10 +7,19 @@
 // caller-supplied parameter vector. Calling Optimize() with calibrated
 // parameters for a hypothetical resource allocation is the paper's
 // "what-if mode" (§4.1).
+//
+// OptimizeGrid() is the batched what-if kernel: it runs the SAME
+// enumeration once per group of parameter vectors that share a memory
+// context, keeping per-member best tables side by side (struct-of-arrays),
+// walking each candidate plan's activity once, and pricing the whole batch
+// through CostModel::MakeBatchPricer. Results are bit-identical to calling
+// Optimize() per member.
 #ifndef VDBA_SIMDB_OPTIMIZER_H_
 #define VDBA_SIMDB_OPTIMIZER_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "simdb/catalog.h"
 #include "simdb/cost_model.h"
@@ -31,6 +40,14 @@ struct OptimizeResult {
   Activity activity;
 };
 
+/// OptimizeGrid knobs.
+struct GridOptions {
+  /// Allocate candidate nodes from pooled arena slabs; false allocates one
+  /// chunk per node (the benches' heap-backed control arm — identical
+  /// results, no slab locality).
+  bool pooled_nodes = true;
+};
+
 /// Plan enumerator + coster. Stateless w.r.t. queries; one instance per
 /// (catalog, cost model) pair.
 class Optimizer {
@@ -42,6 +59,15 @@ class Optimizer {
   /// hypothetical allocation). Deterministic.
   OptimizeResult Optimize(const QuerySpec& query,
                           const EngineParams& params) const;
+
+  /// Batched what-if: optimizes `query` under every parameter vector of
+  /// `params` in one pass per memory-context group. The returned vector is
+  /// index-aligned with `params` and every member is bit-identical (plan
+  /// choice, native_cost, signature, activity) to Optimize(query,
+  /// params[k]). Plans of one group alias a shared arena.
+  std::vector<OptimizeResult> OptimizeGrid(
+      const QuerySpec& query, std::span<const EngineParams> params,
+      const GridOptions& options = GridOptions()) const;
 
   const Catalog& catalog() const { return catalog_; }
   const CostModel& cost_model() const { return cost_model_; }

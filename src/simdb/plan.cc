@@ -1,8 +1,9 @@
 #include "simdb/plan.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <set>
+#include <utility>
 
 #include "util/check.h"
 
@@ -27,8 +28,19 @@ double EffectiveWorkMem(const MemoryContext& mem) {
   return m < kPageSizeBytes ? kPageSizeBytes : m;
 }
 
+/// Placeholder "signature" for signature-free walks: every string operation
+/// compiles away, leaving only the activity arithmetic. Sharing one walker
+/// body between the two modes is what guarantees the costing walk (the
+/// optimizer's inner loop) is bit-identical to the signature-producing one.
+struct NullSig {};
+
+/// One templated walker serves both modes; kSignature selects whether the
+/// operator-tag strings are assembled at all.
+template <bool kSignature>
 class ActivityWalker {
  public:
+  using Sig = std::conditional_t<kSignature, std::string, NullSig>;
+
   ActivityWalker(const Catalog& catalog, const MemoryContext& mem,
                  double working_set_bytes)
       : catalog_(catalog), mem_(mem) {
@@ -46,7 +58,7 @@ class ActivityWalker {
     if (cold_miss_ < 0.02) cold_miss_ = 0.02;
   }
 
-  std::string Walk(const PlanNode& node, Activity* act) {
+  Sig Walk(const PlanNode& node, Activity* act) {
     switch (node.op) {
       case PlanOp::kSeqScan: return SeqScan(node, act);
       case PlanOp::kIndexScan: return IndexScan(node, act);
@@ -61,7 +73,7 @@ class ActivityWalker {
       case PlanOp::kResult: return Result(node, act);
     }
     VDBA_CHECK_MSG(false, "unreachable plan op");
-    return "";
+    return Sig{};
   }
 
  private:
@@ -87,7 +99,7 @@ class ActivityWalker {
     return miss < 0.0 ? 0.0 : miss;
   }
 
-  std::string SeqScan(const PlanNode& node, Activity* act) {
+  Sig SeqScan(const PlanNode& node, Activity* act) {
     const TableDef& t = catalog_.table(node.table);
     double pages = t.Pages() * cold_miss_;
     act->seq_pages += pages;
@@ -96,10 +108,11 @@ class ActivityWalker {
     act->net_pages += pages * node.remote_fraction;
     act->tuples += t.rows;
     act->op_evals += t.rows * node.num_predicates;
-    return "SS";
+    if constexpr (kSignature) return "SS";
+    else return Sig{};
   }
 
-  std::string IndexScan(const PlanNode& node, Activity* act) {
+  Sig IndexScan(const PlanNode& node, Activity* act) {
     const TableDef& t = catalog_.table(node.table);
     const IndexDef& idx = catalog_.index(node.index);
     double rows_sel = t.rows * node.scan_selectivity;
@@ -120,12 +133,13 @@ class ActivityWalker {
     act->index_tuples += rows_sel;
     act->tuples += rows_sel;
     act->op_evals += rows_sel * node.num_predicates;
-    return "IXS";
+    if constexpr (kSignature) return "IXS";
+    else return Sig{};
   }
 
-  std::string NestLoop(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
-    std::string rs = Walk(*node.right, act);  // first inner pass
+  Sig NestLoop(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
+    Sig rs = Walk(*node.right, act);  // first inner pass
     double probes = node.left->output_rows;
     double inner_rows = node.right->output_rows;
     double inner_bytes = inner_rows * node.right->output_width_bytes;
@@ -133,11 +147,12 @@ class ActivityWalker {
     act->seq_pages += rescans * PagesOf(inner_bytes) * HotMiss(inner_bytes);
     act->op_evals += probes * inner_rows;  // join-predicate evaluations
     act->tuples += node.output_rows;
-    return "NLJ(" + ls + "," + rs + ")";
+    if constexpr (kSignature) return "NLJ(" + ls + "," + rs + ")";
+    else return Sig{};
   }
 
-  std::string IndexNestLoop(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
+  Sig IndexNestLoop(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
     // The inner side is accessed only through per-probe index lookups; its
     // child node supplies metadata but contributes no standalone scan.
     const PlanNode& inner = *node.right;
@@ -159,12 +174,13 @@ class ActivityWalker {
     act->index_tuples += probes * (descent + matches);
     act->tuples += probes * matches;
     act->op_evals += probes * (matches + inner.num_predicates * matches);
-    return "INLJ(" + ls + "," + t.name + ")";
+    if constexpr (kSignature) return "INLJ(" + ls + "," + t.name + ")";
+    else return Sig{};
   }
 
-  std::string HashJoin(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
-    std::string rs = Walk(*node.right, act);
+  Sig HashJoin(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
+    Sig rs = Walk(*node.right, act);
     double build_rows = node.right->output_rows;
     double probe_rows = node.left->output_rows;
     double build_bytes =
@@ -180,27 +196,33 @@ class ActivityWalker {
     }
     act->op_evals += build_rows * 2.0 + probe_rows * 1.5;
     act->tuples += node.output_rows;
-    char tag[32];
-    std::snprintf(tag, sizeof(tag), "HJ(b=%d,", batches);
-    return std::string(tag) + ls + "," + rs + ")";
+    if constexpr (kSignature) {
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "HJ(b=%d,", batches);
+      return std::string(tag) + ls + "," + rs + ")";
+    } else {
+      return Sig{};
+    }
   }
 
-  std::string MergeJoin(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
-    std::string rs = Walk(*node.right, act);
+  Sig MergeJoin(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
+    Sig rs = Walk(*node.right, act);
     act->op_evals += node.left->output_rows + node.right->output_rows;
     act->tuples += node.output_rows;
-    return "MJ(" + ls + "," + rs + ")";
+    if constexpr (kSignature) return "MJ(" + ls + "," + rs + ")";
+    else return Sig{};
   }
 
-  std::string Sort(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
+  Sig Sort(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
     double rows = node.left->output_rows;
     double bytes = rows * node.left->output_width_bytes;
     double mem = EffectiveWorkMem(mem_);
     act->op_evals += rows * Log2Rows(rows);
     if (bytes <= mem) {
-      return "Sort(mem," + ls + ")";
+      if constexpr (kSignature) return "Sort(mem," + ls + ")";
+      else return Sig{};
     }
     double runs = std::ceil(bytes / mem);
     double fanin = mem / kPageSizeBytes - 1.0;
@@ -210,13 +232,17 @@ class ActivityWalker {
     if (passes < 1) passes = 1;
     act->spill_pages += 2.0 * PagesOf(bytes) * passes;
     act->op_evals += rows * passes;
-    char tag[32];
-    std::snprintf(tag, sizeof(tag), "Sort(p=%d,", passes);
-    return std::string(tag) + ls + ")";
+    if constexpr (kSignature) {
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "Sort(p=%d,", passes);
+      return std::string(tag) + ls + ")";
+    } else {
+      return Sig{};
+    }
   }
 
-  std::string HashAgg(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
+  Sig HashAgg(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
     double input_rows = node.left->output_rows;
     double ht_bytes =
         node.num_groups * node.group_row_width * kHashTableOverhead;
@@ -230,23 +256,29 @@ class ActivityWalker {
       // (partial) groups, not raw input.
       double frac = static_cast<double>(batches - 1) / batches;
       act->spill_pages += 2.0 * PagesOf(ht_bytes) * frac;
-      char tag[32];
-      std::snprintf(tag, sizeof(tag), "HAgg(b=%d,", batches);
-      return std::string(tag) + ls + ")";
+      if constexpr (kSignature) {
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "HAgg(b=%d,", batches);
+        return std::string(tag) + ls + ")";
+      } else {
+        return Sig{};
+      }
     }
-    return "HAgg(mem," + ls + ")";
+    if constexpr (kSignature) return "HAgg(mem," + ls + ")";
+    else return Sig{};
   }
 
-  std::string SortAgg(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);  // child is a Sort
+  Sig SortAgg(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);  // child is a Sort
     double input_rows = node.left->output_rows;
     act->op_evals += input_rows * node.num_aggregates;
     act->tuples += node.num_groups;
-    return "GAgg(" + ls + ")";
+    if constexpr (kSignature) return "GAgg(" + ls + ")";
+    else return Sig{};
   }
 
-  std::string Update(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
+  Sig Update(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
     double rows = node.update.rows_modified;
     act->write_pages +=
         rows * 0.5 + rows * node.update.index_touches_per_row * 0.25;
@@ -254,11 +286,12 @@ class ActivityWalker {
     act->update_rows += rows;
     act->tuples += rows;
     act->index_tuples += rows * node.update.index_touches_per_row;
-    return "UPD(" + ls + ")";
+    if constexpr (kSignature) return "UPD(" + ls + ")";
+    else return Sig{};
   }
 
-  std::string Result(const PlanNode& node, Activity* act) {
-    std::string ls = Walk(*node.left, act);
+  Sig Result(const PlanNode& node, Activity* act) {
+    Sig ls = Walk(*node.left, act);
     act->rows_returned += node.output_rows;
     // Client result transfer: rows shipped to a remote client traverse
     // the network as page-equivalents of the result width.
@@ -273,13 +306,13 @@ class ActivityWalker {
   double cold_miss_ = 1.0;
 };
 
-void CollectWorkingSet(const Catalog& catalog, const PlanNode& node,
-                       std::set<TableId>* tables, std::set<IndexId>* indexes) {
-  if (node.table != kInvalidTable) tables->insert(node.table);
-  if (node.index != kInvalidIndex) indexes->insert(node.index);
-  if (node.inner_index != kInvalidIndex) indexes->insert(node.inner_index);
-  if (node.left) CollectWorkingSet(catalog, *node.left, tables, indexes);
-  if (node.right) CollectWorkingSet(catalog, *node.right, tables, indexes);
+void CollectWorkingSet(const PlanNode& node, std::vector<TableId>* tables,
+                       std::vector<IndexId>* indexes) {
+  if (node.table != kInvalidTable) tables->push_back(node.table);
+  if (node.index != kInvalidIndex) indexes->push_back(node.index);
+  if (node.inner_index != kInvalidIndex) indexes->push_back(node.inner_index);
+  if (node.left != nullptr) CollectWorkingSet(*node.left, tables, indexes);
+  if (node.right != nullptr) CollectWorkingSet(*node.right, tables, indexes);
 }
 
 }  // namespace
@@ -316,19 +349,42 @@ Activity& Activity::operator+=(const Activity& other) {
   return *this;
 }
 
+const PlanNode* ClonePlan(const PlanNode& root, PlanArena* arena) {
+  PlanNode* copy = arena->New(root);
+  if (root.left != nullptr) copy->left = ClonePlan(*root.left, arena);
+  if (root.right != nullptr) copy->right = ClonePlan(*root.right, arena);
+  return copy;
+}
+
+PlanPtr AdoptPlan(std::shared_ptr<PlanArena> arena, const PlanNode* root) {
+  return PlanPtr(std::move(arena), root);
+}
+
 Activity ComputeActivity(const Catalog& catalog, const PlanNode& plan,
                          const MemoryContext& mem, std::string* signature) {
-  ActivityWalker walker(catalog, mem, PlanWorkingSetBytes(catalog, plan));
+  double working_set = PlanWorkingSetBytes(catalog, plan);
   Activity act;
-  std::string sig = walker.Walk(plan, &act);
-  if (signature != nullptr) *signature = std::move(sig);
+  if (signature != nullptr) {
+    ActivityWalker<true> walker(catalog, mem, working_set);
+    *signature = walker.Walk(plan, &act);
+  } else {
+    ActivityWalker<false> walker(catalog, mem, working_set);
+    walker.Walk(plan, &act);
+  }
   return act;
 }
 
 double PlanWorkingSetBytes(const Catalog& catalog, const PlanNode& plan) {
-  std::set<TableId> tables;
-  std::set<IndexId> indexes;
-  CollectWorkingSet(catalog, plan, &tables, &indexes);
+  // Dedup via sort+unique rather than std::set: ascending iteration (and
+  // therefore the floating-point summation order) is identical, without
+  // per-insert node allocations on the costing hot path.
+  std::vector<TableId> tables;
+  std::vector<IndexId> indexes;
+  CollectWorkingSet(plan, &tables, &indexes);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  std::sort(indexes.begin(), indexes.end());
+  indexes.erase(std::unique(indexes.begin(), indexes.end()), indexes.end());
   double bytes = 0.0;
   for (TableId t : tables) bytes += catalog.table(t).Pages() * kPageSizeBytes;
   for (IndexId i : indexes) bytes += catalog.IndexLeafPages(i) * kPageSizeBytes;

@@ -7,6 +7,12 @@
 // because the what-if estimator and the executor evaluate the same plan
 // under different memory assumptions. The resulting Activity is converted
 // to engine-native cost units by a CostModel, or to seconds by the Executor.
+//
+// Ownership: nodes live in a PlanArena (contiguous StructPool slabs) and
+// point at children with plain pointers; a returned plan keeps its whole
+// arena alive through one shared_ptr at the root (AdoptPlan), so readers —
+// optimizer, executor, cost models — traverse raw pointers with no
+// per-node reference counting.
 #ifndef VDBA_SIMDB_PLAN_H_
 #define VDBA_SIMDB_PLAN_H_
 
@@ -17,6 +23,7 @@
 
 #include "simdb/catalog.h"
 #include "simdb/query.h"
+#include "util/struct_pool.h"
 
 namespace vdba::simdb {
 
@@ -38,14 +45,18 @@ enum class PlanOp {
 const char* PlanOpName(PlanOp op);
 
 struct PlanNode;
+
+/// Owning handle to a plan root: a shared_ptr aliased onto the PlanArena
+/// that owns every node of the tree (see AdoptPlan).
 using PlanPtr = std::shared_ptr<const PlanNode>;
 
 /// One node of a physical plan. Immutable once built (shared by the
-/// optimizer's dynamic-programming memo).
+/// optimizer's dynamic-programming memo). Children are non-owning: the
+/// arena the node was allocated from owns them.
 struct PlanNode {
   PlanOp op = PlanOp::kResult;
-  PlanPtr left;   ///< Outer / only child.
-  PlanPtr right;  ///< Inner child (joins only).
+  const PlanNode* left = nullptr;   ///< Outer / only child.
+  const PlanNode* right = nullptr;  ///< Inner child (joins only).
 
   // Scans.
   TableId table = kInvalidTable;
@@ -80,6 +91,32 @@ struct PlanNode {
   double output_rows = 0.0;
   double output_width_bytes = 48.0;
 };
+
+/// Arena owning PlanNodes: contiguous StructPool slabs by default;
+/// `pooled = false` allocates one chunk per node (the benches' heap-backed
+/// control arm — identical semantics, no slab locality).
+class PlanArena {
+ public:
+  explicit PlanArena(bool pooled = true)
+      : pool_(pooled ? util::StructPool<PlanNode>::kDefaultChunkCapacity : 1) {}
+
+  /// Default-constructed node, owned by this arena.
+  PlanNode* New() { return pool_.New(); }
+  /// Field-copy of `src` (children pointers included), owned by this arena.
+  PlanNode* New(const PlanNode& src) { return pool_.New(src); }
+
+  size_t size() const { return pool_.size(); }
+
+ private:
+  util::StructPool<PlanNode> pool_;
+};
+
+/// Deep-copies the tree under `root` into `arena`; returns the new root.
+const PlanNode* ClonePlan(const PlanNode& root, PlanArena* arena);
+
+/// Owning root handle: keeps `arena` alive for as long as any copy of the
+/// returned PlanPtr exists. `root` must be owned by `arena`.
+PlanPtr AdoptPlan(std::shared_ptr<PlanArena> arena, const PlanNode* root);
 
 /// Memory-dependent evaluation context for ComputeActivity().
 struct MemoryContext {
@@ -119,7 +156,9 @@ struct Activity {
 
 /// Walks `plan`, computing its Activity under `mem` and the plan signature
 /// (operator tags including spill states, e.g. "HJ(b=4)"). Signature changes
-/// delimit the A_ij intervals of §5.1. `signature` may be nullptr.
+/// delimit the A_ij intervals of §5.1. `signature` may be nullptr — the
+/// walk then skips all string assembly (the optimizer's costing hot path)
+/// while producing bit-identical activity counts.
 Activity ComputeActivity(const Catalog& catalog, const PlanNode& plan,
                          const MemoryContext& mem, std::string* signature);
 

@@ -214,5 +214,69 @@ TEST(FleetAdvisorTest, ShippingHeavyTenantsLandOnTheNetFastBox) {
   EXPECT_EQ(rec.assignment[2], 1) << "shipping tenant 2 not on net-fast box";
 }
 
+TEST(FleetAdvisorTest, ClassSharedDemandProbingIsBitIdentical) {
+  // Two machine classes replicated to 16 boxes: class-shared probing must
+  // produce the exact demand matrix of per-machine probing while probing
+  // only one column per class. (Estimates are pure functions of hardware
+  // + calibration, so classmates' columns are bitwise equal by
+  // construction — this pins the memo keying, not the estimator.)
+  static scenario::Testbed tb;
+  std::vector<Tenant> tenants = MixedTenants(tb, 4);
+
+  std::vector<FleetMachine> machines;
+  for (int m = 0; m < 16; ++m) {
+    simvm::PhysicalMachine hw = tb.machine();
+    hw.name = "box-" + std::to_string(m);  // names differ WITHIN a class
+    if (m % 2 == 1) hw.cpu_ops_per_sec *= 2.0;  // second class: fast CPU
+    machines.push_back(FleetMachine{hw});
+  }
+
+  FleetOptions shared_opts;
+  shared_opts.threads = 1;
+  FleetAdvisor shared(machines, tenants, shared_opts);
+  std::vector<std::vector<double>> shared_demand = shared.ProbeDemandMatrix();
+  EXPECT_EQ(shared.demand_columns_probed(), 2);
+
+  FleetOptions unshared_opts = shared_opts;
+  unshared_opts.share_demand_probes = false;
+  FleetAdvisor unshared(machines, tenants, unshared_opts);
+  std::vector<std::vector<double>> full_demand = unshared.ProbeDemandMatrix();
+  EXPECT_EQ(unshared.demand_columns_probed(), 16);
+
+  ASSERT_EQ(shared_demand.size(), full_demand.size());
+  for (size_t i = 0; i < full_demand.size(); ++i) {
+    ASSERT_EQ(shared_demand[i].size(), full_demand[i].size()) << i;
+    for (size_t m = 0; m < full_demand[i].size(); ++m) {
+      EXPECT_EQ(shared_demand[i][m], full_demand[i][m])
+          << "tenant " << i << " machine " << m;
+    }
+  }
+
+  // End-to-end: the full recommendation is unchanged by sharing.
+  FleetRecommendation a = FleetAdvisor(machines, tenants, shared_opts)
+                              .Recommend();
+  FleetRecommendation b = FleetAdvisor(machines, tenants, unshared_opts)
+                              .Recommend();
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.violated_qos, b.violated_qos);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+TEST(FleetAdvisorTest, DistinctCalibrationsAreDistinctClasses) {
+  // Same hardware but different calibration bindings must NOT share a
+  // demand column (per-machine calibration is part of the estimate).
+  static scenario::Testbed tb;
+  std::vector<Tenant> tenants = MixedTenants(tb, 2);
+  std::vector<FleetMachine> machines = {
+      FleetMachine{tb.machine()},
+      FleetMachine{tb.machine(), &tb.pg_calibration(),
+                   &tb.db2_calibration()}};
+  FleetOptions opts;
+  opts.threads = 1;
+  FleetAdvisor fleet(machines, tenants, opts);
+  fleet.ProbeDemandMatrix();
+  EXPECT_EQ(fleet.demand_columns_probed(), 2);
+}
+
 }  // namespace
 }  // namespace vdba::advisor

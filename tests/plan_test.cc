@@ -26,9 +26,9 @@ Catalog MakeCatalog() {
   return cat;
 }
 
-PlanPtr MakeScan(const Catalog& cat, TableId table, double sel = 1.0,
-                 int npreds = 0) {
-  auto node = std::make_shared<PlanNode>();
+PlanNode* MakeScan(PlanArena* arena, const Catalog& cat, TableId table,
+                   double sel = 1.0, int npreds = 0) {
+  PlanNode* node = arena->New();
   node->op = PlanOp::kSeqScan;
   node->table = table;
   node->scan_selectivity = sel;
@@ -47,7 +47,8 @@ MemoryContext BigBuffer() {
 
 TEST(PlanActivityTest, SeqScanCountsTuplesAndPredicates) {
   Catalog cat = MakeCatalog();
-  PlanPtr scan = MakeScan(cat, 0, 0.5, 3);
+  PlanArena arena;
+  PlanNode* scan = MakeScan(&arena, cat, 0, 0.5, 3);
   MemoryContext mem;
   mem.buffer_bytes = 0.0;  // fully cold
   Activity act = ComputeActivity(cat, *scan, mem, nullptr);
@@ -59,7 +60,8 @@ TEST(PlanActivityTest, SeqScanCountsTuplesAndPredicates) {
 
 TEST(PlanActivityTest, BufferResidencyDiscountsIo) {
   Catalog cat = MakeCatalog();
-  PlanPtr scan = MakeScan(cat, 0);
+  PlanArena arena;
+  PlanNode* scan = MakeScan(&arena, cat, 0);
   MemoryContext cold;
   cold.buffer_bytes = 0.0;
   MemoryContext warm = BigBuffer();
@@ -72,9 +74,10 @@ TEST(PlanActivityTest, BufferResidencyDiscountsIo) {
 
 TEST(PlanActivityTest, SortSpillsBelowMemoryThreshold) {
   Catalog cat = MakeCatalog();
-  auto sort = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* sort = arena.New();
   sort->op = PlanOp::kSort;
-  sort->left = MakeScan(cat, 0);  // 1M rows x 50B = 50 MB to sort
+  sort->left = MakeScan(&arena, cat, 0);  // 1M rows x 50B = 50 MB to sort
   sort->output_rows = sort->left->output_rows;
   sort->output_width_bytes = sort->left->output_width_bytes;
 
@@ -95,9 +98,10 @@ TEST(PlanActivityTest, SortSpillsBelowMemoryThreshold) {
 
 TEST(PlanActivityTest, SortMemBoostAvoidsSpill) {
   Catalog cat = MakeCatalog();
-  auto sort = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* sort = arena.New();
   sort->op = PlanOp::kSort;
-  sort->left = MakeScan(cat, 0);
+  sort->left = MakeScan(&arena, cat, 0);
   sort->output_rows = sort->left->output_rows;
   sort->output_width_bytes = sort->left->output_width_bytes;
 
@@ -112,9 +116,10 @@ TEST(PlanActivityTest, SortMemBoostAvoidsSpill) {
 
 TEST(PlanActivityTest, ModeledSortCapLimitsEstimatedBenefit) {
   Catalog cat = MakeCatalog();
-  auto sort = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* sort = arena.New();
   sort->op = PlanOp::kSort;
-  sort->left = MakeScan(cat, 0);
+  sort->left = MakeScan(&arena, cat, 0);
   sort->output_rows = sort->left->output_rows;
   sort->output_width_bytes = sort->left->output_width_bytes;
 
@@ -127,10 +132,11 @@ TEST(PlanActivityTest, ModeledSortCapLimitsEstimatedBenefit) {
 
 TEST(PlanActivityTest, HashJoinBatchesTrackMemory) {
   Catalog cat = MakeCatalog();
-  auto join = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* join = arena.New();
   join->op = PlanOp::kHashJoin;
-  join->left = MakeScan(cat, 0);   // probe
-  join->right = MakeScan(cat, 1);  // build: 10000 x 25B
+  join->left = MakeScan(&arena, cat, 0);   // probe
+  join->right = MakeScan(&arena, cat, 1);  // build: 10000 x 25B
   join->output_rows = 1000000;
   join->output_width_bytes = 75;
 
@@ -150,10 +156,11 @@ TEST(PlanActivityTest, HashJoinBatchesTrackMemory) {
 
 TEST(PlanActivityTest, IndexNestLoopChargesPerProbe) {
   Catalog cat = MakeCatalog();
-  auto join = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* join = arena.New();
   join->op = PlanOp::kIndexNestLoopJoin;
-  join->left = MakeScan(cat, 1);   // 10000 probes
-  join->right = MakeScan(cat, 0);  // inner metadata only
+  join->left = MakeScan(&arena, cat, 1);   // 10000 probes
+  join->right = MakeScan(&arena, cat, 0);  // inner metadata only
   join->inner_index = 0;
   join->inner_rows_per_probe = 3.0;
   join->output_rows = 30000;
@@ -174,9 +181,10 @@ TEST(PlanActivityTest, IndexNestLoopChargesPerProbe) {
 
 TEST(PlanActivityTest, ResultNodeCountsReturnedRows) {
   Catalog cat = MakeCatalog();
-  auto result = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* result = arena.New();
   result->op = PlanOp::kResult;
-  result->left = MakeScan(cat, 1);
+  result->left = MakeScan(&arena, cat, 1);
   result->output_rows = 10000;
   result->extra_ops_per_row = 2.0;
   Activity act = ComputeActivity(cat, *result, BigBuffer(), nullptr);
@@ -186,9 +194,10 @@ TEST(PlanActivityTest, ResultNodeCountsReturnedRows) {
 
 TEST(PlanActivityTest, UpdateChargesWritesAndLog) {
   Catalog cat = MakeCatalog();
-  auto update = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* update = arena.New();
   update->op = PlanOp::kUpdate;
-  update->left = MakeScan(cat, 1);
+  update->left = MakeScan(&arena, cat, 1);
   update->update.rows_modified = 100.0;
   update->update.index_touches_per_row = 2.0;
   update->update.log_bytes_per_row = 100.0;
@@ -201,13 +210,44 @@ TEST(PlanActivityTest, UpdateChargesWritesAndLog) {
 
 TEST(PlanActivityTest, WorkingSetCountsDistinctTables) {
   Catalog cat = MakeCatalog();
-  auto join = std::make_shared<PlanNode>();
+  PlanArena arena;
+  PlanNode* join = arena.New();
   join->op = PlanOp::kHashJoin;
-  join->left = MakeScan(cat, 0);
-  join->right = MakeScan(cat, 0);  // self join: table counted once
+  join->left = MakeScan(&arena, cat, 0);
+  join->right = MakeScan(&arena, cat, 0);  // self join: table counted once
   join->output_rows = 1;
   double ws = PlanWorkingSetBytes(cat, *join);
   EXPECT_NEAR(ws, cat.table(0).Pages() * kPageSizeBytes, 1.0);
+}
+
+TEST(PlanCloneTest, ClonePreservesStructureAndAdoptKeepsArenaAlive) {
+  Catalog cat = MakeCatalog();
+  PlanArena scratch;
+  PlanNode* join = scratch.New();
+  join->op = PlanOp::kHashJoin;
+  join->left = MakeScan(&scratch, cat, 0, 0.5, 2);
+  join->right = MakeScan(&scratch, cat, 1);
+  join->output_rows = 1000;
+  join->output_width_bytes = 75;
+
+  MemoryContext mem = BigBuffer();
+  std::string sig_orig;
+  Activity orig = ComputeActivity(cat, *join, mem, &sig_orig);
+
+  PlanPtr adopted;
+  {
+    auto owner = std::make_shared<PlanArena>();
+    const PlanNode* root = ClonePlan(*join, owner.get());
+    EXPECT_EQ(owner->size(), 3u);  // join + 2 scans, nothing extra
+    adopted = AdoptPlan(std::move(owner), root);
+  }
+  // The scratch arena is irrelevant now; the adopted plan owns its nodes.
+  std::string sig_clone;
+  Activity clone = ComputeActivity(cat, *adopted, mem, &sig_clone);
+  EXPECT_EQ(sig_orig, sig_clone);
+  EXPECT_EQ(orig.seq_pages, clone.seq_pages);
+  EXPECT_EQ(orig.tuples, clone.tuples);
+  EXPECT_EQ(orig.op_evals, clone.op_evals);
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+// util::StructPool: chunked placement allocation, destruction order,
+// Reset() reuse, and the capacity-1 "unpooled" control configuration.
+#include "util/struct_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdba::util {
+namespace {
+
+TEST(StructPoolTest, AllocatesDistinctConstructedObjects) {
+  StructPool<int> pool;
+  int* a = pool.New(7);
+  int* b = pool.New(11);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(*b, 11);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StructPoolTest, ObjectsWithinAChunkAreContiguous) {
+  StructPool<uint64_t> pool(/*chunk_capacity=*/8);
+  uint64_t* first = pool.New(0u);
+  for (size_t i = 1; i < 8; ++i) {
+    uint64_t* p = pool.New(i);
+    EXPECT_EQ(p, first + i) << i;  // same slab, adjacent slots
+  }
+  // The 9th allocation starts a new chunk: still valid, not adjacent.
+  uint64_t* ninth = pool.New(8u);
+  ASSERT_NE(ninth, nullptr);
+  EXPECT_NE(ninth, first + 8);
+  EXPECT_EQ(pool.size(), 9u);
+}
+
+TEST(StructPoolTest, GrowingNeverMovesEarlierObjects) {
+  StructPool<std::string> pool(/*chunk_capacity=*/4);
+  std::vector<std::string*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    ptrs.push_back(pool.New(std::to_string(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<size_t>(i)], std::to_string(i)) << i;
+  }
+}
+
+TEST(StructPoolTest, DestructorsRunOnReset) {
+  struct Probe {
+    explicit Probe(int* counter) : counter_(counter) { ++*counter_; }
+    ~Probe() { --*counter_; }
+    int* counter_;
+  };
+  int live = 0;
+  StructPool<Probe> pool(/*chunk_capacity=*/3);
+  for (int i = 0; i < 10; ++i) pool.New(&live);
+  EXPECT_EQ(live, 10);
+  pool.Reset();
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(pool.size(), 0u);
+  // The pool is reusable after Reset.
+  pool.New(&live);
+  EXPECT_EQ(live, 1);
+}
+
+TEST(StructPoolTest, CapacityOneDegradesToPerObjectAllocation) {
+  StructPool<double> pool(/*chunk_capacity=*/1);
+  EXPECT_EQ(pool.chunk_capacity(), 1u);
+  double* a = pool.New(1.5);
+  double* b = pool.New(2.5);
+  EXPECT_EQ(*a, 1.5);
+  EXPECT_EQ(*b, 2.5);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StructPoolTest, CapacityClampsToAtLeastOne) {
+  StructPool<int> pool(/*chunk_capacity=*/0);
+  EXPECT_GE(pool.chunk_capacity(), 1u);
+  EXPECT_EQ(*pool.New(3), 3);
+}
+
+}  // namespace
+}  // namespace vdba::util
