@@ -196,6 +196,7 @@ def compare(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
     # not force a synchronized baseline refresh in the same PR. It starts
     # gating once the snapshot is refreshed.
     baseline_names = {p.name for p in baseline_files}
+    unsnapshotted: dict[str, list[str]] = {}
     for result_path in sorted(results_dir.glob("BENCH_*.json")):
         base_path = baseline_dir / result_path.name
         base_metrics = (load_metrics(base_path)
@@ -203,6 +204,7 @@ def compare(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
         for name, value in sorted(load_metrics(result_path).items()):
             if direction(name) == "none" or name in base_metrics:
                 continue
+            unsnapshotted.setdefault(result_path.name, []).append(name)
             warnings.append(f"{result_path.name}: new metric '{name}' "
                             f"({value:g}) has no baseline yet")
             print(f"[warn] {result_path.name}:{name}: {value:g} "
@@ -210,9 +212,16 @@ def compare(results_dir: pathlib.Path, baseline_dir: pathlib.Path,
 
     print(f"\ncompared {compared} gated metric(s) across "
           f"{len(baseline_files)} artifact(s)")
-    if warnings:
-        print(f"{len(warnings)} new metric(s) not yet in the baseline "
-              "(warn-and-pass; refresh the snapshot to start gating them)")
+    # One line per artifact at exit, so metrics riding ungated are visible
+    # in the job's last screen of output, not buried mid-log: these are
+    # gateable by name but have no snapshot, i.e. a regression in them
+    # passes CI until someone runs the baseline-refresh workflow.
+    if unsnapshotted:
+        print(f"{len(warnings)} gateable metric(s) have no baseline yet "
+              "(warn-and-pass; run the baseline-refresh workflow and commit "
+              "the artifact to start gating them):")
+        for artifact, names in sorted(unsnapshotted.items()):
+            print(f"warning: {artifact}: un-snapshotted: {', '.join(names)}")
     if failures:
         print(f"\nPERF GATE FAILED ({len(failures)} issue(s)):",
               file=sys.stderr)

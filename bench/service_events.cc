@@ -1,0 +1,333 @@
+// Resident-service event handling vs batch full re-solve (beyond the
+// paper; see docs/service.md).
+//
+// The AdvisorService's pitch is that one tenant event should cost an
+// incremental warm repair — targeted cache invalidation + finest-step
+// search from the incumbent on ONE machine — not a from-scratch fleet
+// solve. This harness builds the 8x64 fleet of scale_tenants' fleet arm
+// (8 machines cycling balanced / net-fast / cpu-fast classes, 64
+// heterogeneous tenants), streams 63 arrivals through the service to
+// reach a warm steady state, then times one arrival, one genuine drift,
+// one no-op drift, and one departure against the cold alternative: a
+// full FleetAdvisor::Recommend() over the post-event tenant set.
+//
+// Recorded per event kind: event_admission_latency_ms_warm_<kind> /
+// _cold_<kind> and service_warm_speedup_<kind>. Acceptance: at 8x64 the
+// warm arrival is >= 5x below the cold full re-solve, the warm fleet
+// objective stays within 25% of the cold solve's, warm handling
+// introduces no QoS violation the cold solve avoids, and a no-op drift
+// returns the incumbent allocation bit-identically.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "advisor/fleet_advisor.h"
+#include "bench_common.h"
+#include "service/advisor_service.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "workload/tpch.h"
+
+using namespace vdba;         // NOLINT
+using namespace vdba::bench;  // NOLINT
+
+namespace {
+
+constexpr int kMachines = 8;
+constexpr int kTenants = 64;
+
+struct MachineClass {
+  std::string name;
+  std::unique_ptr<scenario::Testbed> testbed;
+};
+
+/// The scale_tenants fleet classes: balanced, a 4x faster NIC, 1.5x CPU.
+std::vector<MachineClass> MakeMachineClasses() {
+  auto base = [] {
+    scenario::TestbedOptions opts;
+    opts.machine.resources = &simvm::ResourceModel::CpuMemIoNet();
+    opts.calibration.io_shares = {0.35, 0.5, 0.7, 1.0};
+    opts.calibration.net_shares = {0.35, 0.5, 0.7, 1.0};
+    opts.with_sf10 = false;
+    opts.with_tpcc = false;
+    return opts;
+  };
+  std::vector<MachineClass> classes;
+  scenario::TestbedOptions balanced = base();
+  balanced.machine.name = "balanced";
+  classes.push_back(
+      {"balanced", std::make_unique<scenario::Testbed>(balanced)});
+  scenario::TestbedOptions net_fast = base();
+  net_fast.machine.name = "net-fast";
+  net_fast.machine.net_page_ms /= 4.0;
+  classes.push_back(
+      {"net-fast", std::make_unique<scenario::Testbed>(net_fast)});
+  scenario::TestbedOptions cpu_fast = base();
+  cpu_fast.machine.name = "cpu-fast";
+  cpu_fast.machine.cpu_ops_per_sec *= 1.5;
+  classes.push_back(
+      {"cpu-fast", std::make_unique<scenario::Testbed>(cpu_fast)});
+  return classes;
+}
+
+std::vector<advisor::FleetMachine> MakeFleet(
+    const std::vector<MachineClass>& classes, int p) {
+  std::vector<advisor::FleetMachine> fleet;
+  fleet.reserve(static_cast<size_t>(p));
+  for (int m = 0; m < p; ++m) {
+    const MachineClass& cls =
+        classes[static_cast<size_t>(m) % classes.size()];
+    advisor::FleetMachine fm;
+    fm.hardware = cls.testbed->machine();
+    fm.hardware.name = cls.name + "-" + std::to_string(m);
+    fm.pg_calibration = &cls.testbed->pg_calibration();
+    fm.db2_calibration = &cls.testbed->db2_calibration();
+    fleet.push_back(fm);
+  }
+  return fleet;
+}
+
+/// The scale_tenants fleet population: heterogeneous DSS mixes, a
+/// data-shipping statement on every other tenant, and a degradation
+/// limit on every eighth so QoS verdicts are part of the comparison.
+std::vector<advisor::Tenant> MakeFleetTenants(const scenario::Testbed& tb,
+                                              int n) {
+  const int query_pool[] = {1, 3, 6, 12, 14, 18, 21};
+  std::vector<advisor::Tenant> tenants;
+  tenants.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    simdb::Workload w;
+    const int statements = 4 + i % 4;
+    for (int s = 0; s <= statements; ++s) {
+      int qn = query_pool[(i + 2 * s) % 7];
+      w.AddStatement(workload::TpchQuery(tb.tpch_sf1(), qn),
+                     1.0 + (i + s) % 4);
+    }
+    if (i % 2 == 0) {
+      w.AddStatement(workload::TpchReplicationExtract(tb.tpch_sf1()), 4.0);
+    }
+    advisor::QosSpec qos;
+    if (i % 8 == 0) qos.degradation_limit = 6.0;
+    const simdb::DbEngine& engine = i % 2 ? tb.db2_sf1() : tb.pg_sf1();
+    tenants.push_back(tb.MakeTenant(engine, w, qos));
+  }
+  return tenants;
+}
+
+/// The shared move grid: scale_tenants' coarse-to-fine schedule, so warm
+/// and cold solves search the same space.
+advisor::AdvisorOptions SolveOptions() {
+  advisor::AdvisorOptions options;
+  options.search.enumerator.min_share = 0.01;
+  for (int d = 0; d < simvm::kMaxResourceDims; ++d) {
+    options.search.enumerator.deltas[static_cast<size_t>(d)] = {0.05, 0.02};
+  }
+  return options;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Cold comparator: a full FleetAdvisor solve of `tenants`, timed.
+/// Migration is off — the event comparison is repair vs plain re-solve.
+std::pair<double, advisor::FleetRecommendation> ColdSolve(
+    const std::vector<advisor::FleetMachine>& fleet,
+    const std::vector<advisor::Tenant>& tenants) {
+  advisor::FleetOptions options;
+  options.advisor = SolveOptions();
+  options.migrate = false;
+  double start = NowSeconds();
+  advisor::FleetAdvisor cold(fleet, tenants, options);
+  advisor::FleetRecommendation rec = cold.Recommend();
+  return {NowSeconds() - start, std::move(rec)};
+}
+
+struct EventTiming {
+  double warm_ms = 0.0;
+  double cold_ms = 0.0;
+  double warm_objective = 0.0;
+  double cold_objective = 0.0;
+  size_t warm_violations = 0;
+  size_t cold_violations = 0;
+  double speedup() const { return warm_ms > 0.0 ? cold_ms / warm_ms : 0.0; }
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "service_events",
+      "no paper counterpart: a resident AdvisorService must handle one "
+      "tenant event by warm incremental repair >= 5x faster than the "
+      "full fleet re-solve it replaces, within 25% of its cost");
+
+  std::vector<MachineClass> classes = MakeMachineClasses();
+  const scenario::Testbed& tb = *classes[0].testbed;
+  std::vector<advisor::FleetMachine> fleet = MakeFleet(classes, kMachines);
+  std::vector<advisor::Tenant> tenants = MakeFleetTenants(tb, kTenants);
+
+  service::ServiceOptions options;
+  options.advisor = SolveOptions();
+  options.saturation_threshold = std::numeric_limits<double>::infinity();
+  service::AdvisorService service(fleet, options);
+
+  // Stream the first 63 arrivals: the service reaches its warm resident
+  // state (this is the service's whole life, not a setup artifact).
+  double stream_start = NowSeconds();
+  for (int i = 0; i < kTenants - 1; ++i) {
+    service::EventOutcome out =
+        service.SubmitArrival(tenants[static_cast<size_t>(i)]).get();
+    if (!out.ok) {
+      std::printf("arrival %d refused: %s\n", i, out.error.c_str());
+      return 1;
+    }
+  }
+  double stream_seconds = NowSeconds() - stream_start;
+
+  TablePrinter t({"event", "warm (ms)", "cold full re-solve (ms)",
+                  "speedup", "warm obj", "cold obj"});
+  auto record = [&t](const std::string& kind, const EventTiming& e) {
+    t.AddRow({kind, TablePrinter::Num(e.warm_ms, 2),
+              TablePrinter::Num(e.cold_ms, 1),
+              TablePrinter::Num(e.speedup(), 1),
+              TablePrinter::Num(e.warm_objective, 1),
+              TablePrinter::Num(e.cold_objective, 1)});
+    RecordMetric("event_admission_latency_ms_warm_" + kind, e.warm_ms);
+    RecordMetric("event_admission_latency_ms_cold_" + kind, e.cold_ms);
+    RecordMetric("service_warm_speedup_" + kind, e.speedup());
+  };
+
+  // --- Arrival: tenant 63 joins the warm 63-tenant fleet. -----------------
+  EventTiming arrival;
+  {
+    double start = NowSeconds();
+    service::EventOutcome out =
+        service.SubmitArrival(tenants[kTenants - 1]).get();
+    arrival.warm_ms = (NowSeconds() - start) * 1e3;
+    if (!out.ok) {
+      std::printf("timed arrival refused: %s\n", out.error.c_str());
+      return 1;
+    }
+    service::FleetSnapshot snap = service.Snapshot();
+    arrival.warm_objective = snap.objective;
+    arrival.warm_violations = snap.violated_qos.size();
+    auto [cold_seconds, cold] = ColdSolve(fleet, tenants);
+    arrival.cold_ms = cold_seconds * 1e3;
+    arrival.cold_objective = cold.total_cost;
+    arrival.cold_violations = cold.violated_qos.size();
+    record("arrival", arrival);
+  }
+
+  // --- Drift: tenant 5's workload genuinely changes. ----------------------
+  EventTiming drift;
+  {
+    simdb::Workload drifted;
+    drifted.AddStatement(workload::TpchQuery(tb.tpch_sf1(), 18), 6.0);
+    drifted.AddStatement(workload::TpchQuery(tb.tpch_sf1(), 21), 2.0);
+    double start = NowSeconds();
+    service::EventOutcome out = service.SubmitDrift(5, drifted).get();
+    drift.warm_ms = (NowSeconds() - start) * 1e3;
+    if (!out.ok) {
+      std::printf("drift refused: %s\n", out.error.c_str());
+      return 1;
+    }
+    service::FleetSnapshot snap = service.Snapshot();
+    drift.warm_objective = snap.objective;
+    drift.warm_violations = snap.violated_qos.size();
+    std::vector<advisor::Tenant> drifted_tenants = tenants;
+    drifted_tenants[5].workload = drifted;
+    auto [cold_seconds, cold] = ColdSolve(fleet, drifted_tenants);
+    drift.cold_ms = cold_seconds * 1e3;
+    drift.cold_objective = cold.total_cost;
+    drift.cold_violations = cold.violated_qos.size();
+    record("drift", drift);
+    tenants = std::move(drifted_tenants);  // the fleet's new truth
+  }
+
+  // --- No-op drift: same workload resubmitted; must be bit-identical. -----
+  bool noop_identical = true;
+  {
+    service::FleetSnapshot before = service.Snapshot();
+    double start = NowSeconds();
+    service::EventOutcome out =
+        service.SubmitDrift(9, tenants[9].workload).get();
+    double noop_ms = (NowSeconds() - start) * 1e3;
+    if (!out.ok) {
+      std::printf("no-op drift refused: %s\n", out.error.c_str());
+      return 1;
+    }
+    service::FleetSnapshot after = service.Snapshot();
+    for (size_t i = 0; i < before.allocations.size(); ++i) {
+      if (!(after.allocations[i] == before.allocations[i]) ||
+          after.estimated_seconds[i] != before.estimated_seconds[i]) {
+        noop_identical = false;
+      }
+    }
+    if (after.objective != before.objective) noop_identical = false;
+    RecordMetric("event_admission_latency_ms_warm_noop_drift", noop_ms);
+    RecordMetric("service_noop_drift_identical", noop_identical ? 1.0 : 0.0);
+    t.AddRow({"drift (no-op)", TablePrinter::Num(noop_ms, 2), "-", "-",
+              TablePrinter::Num(after.objective, 1),
+              noop_identical ? "bit-identical" : "DIVERGED"});
+  }
+
+  // --- Departure: tenant 17 leaves. ---------------------------------------
+  EventTiming departure;
+  {
+    double start = NowSeconds();
+    service::EventOutcome out = service.SubmitDeparture(17).get();
+    departure.warm_ms = (NowSeconds() - start) * 1e3;
+    if (!out.ok) {
+      std::printf("departure refused: %s\n", out.error.c_str());
+      return 1;
+    }
+    service::FleetSnapshot snap = service.Snapshot();
+    departure.warm_objective = snap.objective;
+    departure.warm_violations = snap.violated_qos.size();
+    std::vector<advisor::Tenant> remaining;
+    for (int i = 0; i < kTenants; ++i) {
+      if (i != 17) remaining.push_back(tenants[static_cast<size_t>(i)]);
+    }
+    auto [cold_seconds, cold] = ColdSolve(fleet, remaining);
+    departure.cold_ms = cold_seconds * 1e3;
+    departure.cold_objective = cold.total_cost;
+    departure.cold_violations = cold.violated_qos.size();
+    record("departure", departure);
+  }
+  t.Print();
+
+  // --- Gates ---------------------------------------------------------------
+  const bool latency_ok = arrival.speedup() >= 5.0;
+  auto quality_ok = [](const EventTiming& e) {
+    return e.cold_objective > 0.0 &&
+           e.warm_objective <= 1.25 * e.cold_objective &&
+           e.warm_violations <= e.cold_violations;
+  };
+  const bool cost_ok =
+      quality_ok(arrival) && quality_ok(drift) && quality_ok(departure);
+
+  RecordMetric("service_stream_seconds_63_arrivals", stream_seconds);
+  RecordMetric("service_arrival_speedup_ok_8x64", latency_ok ? 1.0 : 0.0);
+  RecordMetric("service_warm_cost_within_25pct", cost_ok ? 1.0 : 0.0);
+  RecordMetric("hardware_threads",
+               static_cast<double>(ThreadPool::DefaultThreads()));
+
+  std::printf(
+      "\nwarm arrival vs cold full re-solve at %dx%d: %.1fx (gate >= 5x: "
+      "%s)\n",
+      kMachines, kTenants, arrival.speedup(), latency_ok ? "yes" : "NO");
+  std::printf("warm cost within 25%% of cold, no new QoS violations: %s\n",
+              cost_ok ? "yes" : "NO");
+  std::printf("no-op drift bit-identical: %s\n",
+              noop_identical ? "yes" : "NO (bug)");
+  PrintFooter();
+  return latency_ok && cost_ok && noop_identical ? 0 : 1;
+}

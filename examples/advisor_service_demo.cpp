@@ -1,0 +1,118 @@
+// Advisor-as-a-service walkthrough: a resident AdvisorService owning a
+// small 3-machine fleet, fed a stream of tenant lifecycle events.
+//
+// The batch advisor (advisor_demo, fleet_placement_demo) answers one
+// question and exits. Real fleets don't hold still: tenants arrive,
+// their workloads drift, they leave. This demo keeps the advisor
+// RESIDENT — estimators stay warm across events, and each event costs
+// an incremental warm repair of one machine instead of a from-scratch
+// fleet solve. See docs/service.md for the event model.
+//
+// Build & run:
+//   cmake -S . -B build && cmake --build build -j
+//   ./build/advisor_service_demo
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "service/advisor_service.h"
+#include "workload/tpch.h"
+
+using namespace vdba;  // NOLINT
+
+namespace {
+
+scenario::TestbedOptions ClassOptions(const std::string& name) {
+  scenario::TestbedOptions options;
+  options.machine.name = name;
+  options.with_sf10 = false;
+  options.with_tpcc = false;
+  return options;
+}
+
+void PrintSnapshot(const service::AdvisorService& service,
+                   const char* moment) {
+  service::FleetSnapshot snap = service.Snapshot();
+  std::printf("\n  fleet after %s: %d active tenant(s), objective %.1f\n",
+              moment, snap.active_tenants, snap.objective);
+  for (size_t i = 0; i < snap.assignment.size(); ++i) {
+    if (snap.assignment[i] < 0) continue;
+    std::printf("    tenant %zu on machine %d: cpu %.0f%% mem %.0f%% -> "
+                "%.1f s\n",
+                i, snap.assignment[i],
+                100.0 * snap.allocations[i].cpu_share(),
+                100.0 * snap.allocations[i].mem_share(),
+                snap.estimated_seconds[i]);
+  }
+  if (!snap.violated_qos.empty()) {
+    std::printf("    (%zu QoS violation(s))\n", snap.violated_qos.size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Advisor as a service: resident fleet, streaming events ==\n");
+
+  // Two machine classes: two balanced boxes and one with a faster CPU.
+  scenario::Testbed balanced(ClassOptions("balanced"));
+  scenario::TestbedOptions fast = ClassOptions("cpu-fast");
+  fast.machine.cpu_ops_per_sec *= 1.5;
+  scenario::Testbed cpu_fast(fast);
+
+  std::vector<advisor::FleetMachine> fleet;
+  for (int m = 0; m < 2; ++m) {
+    fleet.push_back({balanced.machine(), &balanced.pg_calibration(),
+                     &balanced.db2_calibration()});
+  }
+  fleet.push_back({cpu_fast.machine(), &cpu_fast.pg_calibration(),
+                   &cpu_fast.db2_calibration()});
+
+  service::AdvisorService service(fleet, service::ServiceOptions{});
+  std::printf("service up: %d machines, 0 tenants\n", service.num_machines());
+
+  // --- Arrivals: four tenants stream in; admission routes each onto the
+  // least-loaded machine whose projected load stays feasible. -------------
+  auto tenant = [&](int queries, double freq) {
+    simdb::Workload w;
+    w.AddStatement(workload::TpchQuery(balanced.tpch_sf1(), queries), freq);
+    return balanced.MakeTenant(queries % 2 ? balanced.pg_sf1()
+                                           : balanced.db2_sf1(),
+                               w);
+  };
+  std::printf("\n-- four arrivals --\n");
+  for (auto [q, freq] : {std::pair{18, 4.0}, {21, 3.0}, {6, 8.0}, {1, 2.0}}) {
+    service::EventOutcome out = service.SubmitArrival(tenant(q, freq)).get();
+    std::printf("  tenant %d (Q%d x%.0f) -> machine %d%s\n", out.tenant, q,
+                freq, out.machine,
+                out.migrations ? " (+rebalancing migration)" : "");
+  }
+  PrintSnapshot(service, "arrivals");
+
+  // --- Drift: tenant 1's workload changes shape; only ITS cache entries
+  // are invalidated and only its machine is warm-repaired. ----------------
+  std::printf("\n-- tenant 1 drifts to a heavier mix --\n");
+  simdb::Workload drifted;
+  drifted.AddStatement(workload::TpchQuery(balanced.tpch_sf1(), 21), 6.0);
+  drifted.AddStatement(workload::TpchQuery(balanced.tpch_sf1(), 14), 3.0);
+  service::EventOutcome drift = service.SubmitDrift(1, drifted).get();
+  std::printf("  drift handled on machine %d (%d migration(s))\n",
+              drift.machine, drift.migrations);
+  PrintSnapshot(service, "drift");
+
+  // --- Departure: tenant 2 leaves; its share is redistributed to the
+  // survivors on that machine by a warm repair. ---------------------------
+  std::printf("\n-- tenant 2 departs --\n");
+  service::EventOutcome gone = service.SubmitDeparture(2).get();
+  std::printf("  departure handled on machine %d\n", gone.machine);
+  PrintSnapshot(service, "departure");
+
+  // --- Shutdown: Stop() drains anything still queued, then joins. --------
+  service.Stop();
+  std::printf("\nservice stopped after %ld events; estimators stayed warm "
+              "the whole time.\n",
+              static_cast<long>(service.Snapshot().events_handled));
+  return 0;
+}

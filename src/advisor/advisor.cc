@@ -19,9 +19,13 @@ std::vector<QosSpec> VirtualizationDesignAdvisor::QosList() const {
   return qos;
 }
 
-Recommendation VirtualizationDesignAdvisor::Recommend() {
+Recommendation VirtualizationDesignAdvisor::Recommend() { return Recommend({}); }
+
+Recommendation VirtualizationDesignAdvisor::Recommend(
+    std::vector<simvm::ResourceVector> initial) {
   std::unique_ptr<SearchStrategy> strategy = MakeStrategy();
-  EnumerationResult res = strategy->Run(estimator_.get(), QosList(), {});
+  EnumerationResult res =
+      strategy->Run(estimator_.get(), QosList(), std::move(initial));
 
   Recommendation rec;
   rec.strategy = std::string(strategy->name());

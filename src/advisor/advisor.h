@@ -56,6 +56,12 @@ class VirtualizationDesignAdvisor {
   /// enumerating over the calibrated what-if estimator.
   Recommendation Recommend();
 
+  /// Recommendation seeded from `initial` (one allocation per tenant) —
+  /// the warm-start entry incremental repair uses: the strategy explores
+  /// out from the incumbent instead of the default 1/N split. Pass an
+  /// empty vector for the cold behaviour of Recommend().
+  Recommendation Recommend(std::vector<simvm::ResourceVector> initial);
+
   /// Estimated total seconds at an arbitrary allocation (for baselines).
   double EstimateTotalSeconds(const std::vector<simvm::ResourceVector>& alloc);
 

@@ -30,18 +30,24 @@ std::vector<double> CostEstimator::EstimateMany(
   return out;
 }
 
+namespace {
+
+void ValidateTenant(const Tenant& t) {
+  VDBA_CHECK(t.engine != nullptr);
+  VDBA_CHECK(t.calibration != nullptr);
+  VDBA_CHECK_EQ(static_cast<int>(t.engine->flavor()),
+                static_cast<int>(t.calibration->flavor()));
+}
+
+}  // namespace
+
 WhatIfCostEstimator::WhatIfCostEstimator(const simvm::PhysicalMachine& machine,
                                          std::vector<Tenant> tenants,
                                          WhatIfEstimatorOptions options)
     : machine_(machine), options_(options), tenants_(std::move(tenants)) {
   VDBA_CHECK(!tenants_.empty());
   VDBA_CHECK_GT(options_.cache_granularity, 0.0);
-  for (const Tenant& t : tenants_) {
-    VDBA_CHECK(t.engine != nullptr);
-    VDBA_CHECK(t.calibration != nullptr);
-    VDBA_CHECK_EQ(static_cast<int>(t.engine->flavor()),
-                  static_cast<int>(t.calibration->flavor()));
-  }
+  for (const Tenant& t : tenants_) ValidateTenant(t);
   observations_.resize(tenants_.size());
 }
 
@@ -362,11 +368,17 @@ void WhatIfCostEstimator::SetWorkload(int tenant, simdb::Workload workload) {
   VDBA_CHECK_GE(tenant, 0);
   VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
   tenants_[static_cast<size_t>(tenant)].workload = std::move(workload);
+  InvalidateTenant(tenant);
+}
+
+void WhatIfCostEstimator::InvalidateTenant(int tenant) {
+  VDBA_CHECK_GE(tenant, 0);
+  VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
   {
     std::lock_guard lock(observations_mu_);
     observations_[static_cast<size_t>(tenant)].clear();
   }
-  // Drop the tenant's cache entries.
+  // Drop exactly this tenant's cache entries; other tenants stay warm.
   for (CacheShard& shard : cache_shards_) {
     std::unique_lock lock(shard.mu);
     for (auto it = shard.map.begin(); it != shard.map.end();) {
@@ -377,6 +389,24 @@ void WhatIfCostEstimator::SetWorkload(int tenant, simdb::Workload workload) {
       }
     }
   }
+}
+
+int WhatIfCostEstimator::AddTenant(Tenant tenant) {
+  ValidateTenant(tenant);
+  tenants_.push_back(std::move(tenant));
+  {
+    std::lock_guard lock(observations_mu_);
+    observations_.emplace_back();
+  }
+  return static_cast<int>(tenants_.size()) - 1;
+}
+
+void WhatIfCostEstimator::ReplaceTenant(int tenant, Tenant replacement) {
+  VDBA_CHECK_GE(tenant, 0);
+  VDBA_CHECK_LT(static_cast<size_t>(tenant), tenants_.size());
+  ValidateTenant(replacement);
+  tenants_[static_cast<size_t>(tenant)] = std::move(replacement);
+  InvalidateTenant(tenant);
 }
 
 }  // namespace vdba::advisor

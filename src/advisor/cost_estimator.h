@@ -177,6 +177,30 @@ class WhatIfCostEstimator : public CostEstimator {
   /// its cache and observation log.
   void SetWorkload(int tenant, simdb::Workload workload);
 
+  // --- Resident-service mutation APIs (src/service/) -----------------------
+  // Like SetWorkload, none of these are safe concurrently with estimation:
+  // the resident AdvisorService calls them only from its single worker
+  // thread, between estimation fan-outs.
+
+  /// \brief Drops exactly one tenant's cache entries and observation log;
+  /// every other tenant's entries stay warm.
+  ///
+  /// This is the targeted-invalidation primitive incremental repair is
+  /// built on: a tenant event (arrival, departure, drift, migration) must
+  /// not cost the whole fleet its what-if cache. SetWorkload routes
+  /// through it.
+  void InvalidateTenant(int tenant);
+
+  /// Appends a tenant (same validity requirements as the constructor) and
+  /// returns its index. Existing indices, cache entries, and observation
+  /// logs are untouched.
+  int AddTenant(Tenant tenant);
+
+  /// Replaces tenant `tenant` wholesale (engine, calibration, workload,
+  /// QoS) and invalidates its cache entries and observation log — the
+  /// slot-reuse primitive for departed tenants in a long-lived estimator.
+  void ReplaceTenant(int tenant, Tenant replacement);
+
   /// Observation log for one tenant (insertion order).
   const std::vector<WhatIfObservation>& observations(int tenant) const {
     return observations_[static_cast<size_t>(tenant)];

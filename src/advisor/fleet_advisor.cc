@@ -18,11 +18,8 @@ namespace {
 /// role in the enumerators).
 constexpr double kFleetEpsilon = 1e-12;
 
-/// True when two fleet machines are interchangeable for what-if
-/// estimation: identical hardware capacities, the same ResourceModel, and
-/// the same calibration bindings. The estimate is a pure function of
-/// exactly these inputs, so classmates get bit-identical demand columns.
-/// PhysicalMachine::name is deliberately excluded (purely descriptive).
+}  // namespace
+
 bool SameMachineClass(const FleetMachine& a, const FleetMachine& b) {
   return a.hardware.cpu_ops_per_sec == b.hardware.cpu_ops_per_sec &&
          a.hardware.memory_mb == b.hardware.memory_mb &&
@@ -35,8 +32,6 @@ bool SameMachineClass(const FleetMachine& a, const FleetMachine& b) {
          a.pg_calibration == b.pg_calibration &&
          a.db2_calibration == b.db2_calibration;
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Placement policies

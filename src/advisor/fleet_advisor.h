@@ -51,6 +51,15 @@ struct FleetMachine {
   }
 };
 
+/// True when two fleet machines are interchangeable for what-if
+/// estimation: identical hardware capacities, the same ResourceModel, and
+/// the same calibration bindings. The estimate is a pure function of
+/// exactly these inputs, so classmates get bit-identical demand columns.
+/// PhysicalMachine::name is deliberately excluded (purely descriptive).
+/// FleetAdvisor's shared demand probing and the resident AdvisorService's
+/// per-class probe reuse both key off this.
+bool SameMachineClass(const FleetMachine& a, const FleetMachine& b);
+
 /// What a PlacementPolicy packs by. Demands are WHAT-IF estimates probed
 /// through each machine's calibrated estimator, so machine heterogeneity
 /// (CPU speed, memory size, NIC speed via the per-machine calibration) is

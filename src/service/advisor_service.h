@@ -1,0 +1,297 @@
+// Advisor-as-a-service: the resident control-plane loop over the advisor
+// library (beyond the paper; see docs/service.md).
+//
+// Everything below src/service/ treats the advisor as a BATCH tool: build
+// an estimator, enumerate, return a recommendation, throw the state away.
+// Production control planes ("Towards Building Autonomous Data Services
+// on Azure") don't work that way — tenants arrive, depart, and drift one
+// at a time, and each event should cost an *incremental repair*, not a
+// from-scratch fleet solve. AdvisorService owns the fleet state as a
+// resident object: per-machine WhatIfCostEstimators stay alive across
+// events (their what-if caches stay warm), a thread-safe MPSC EventQueue
+// feeds one worker thread, and every event is handled by warm-starting
+// the configured SearchStrategy from the incumbent allocation with
+// finest-step-only move schedules, after a *targeted* invalidation of
+// only the affected tenant's cache entries
+// (WhatIfCostEstimator::InvalidateTenant). Arrivals are admitted through
+// the pluggable PlacementPolicy onto the least-loaded feasible machine;
+// cross-machine migration repair runs only when an event pushes a
+// machine's gain-weighted saturation over a threshold.
+//
+// Repair-quality contract: handling an event whose workload is unchanged
+// (a no-op drift, or a Reconfigure with nothing new) returns the
+// incumbent allocation BIT-IDENTICAL — the greedy incumbent has no
+// improving finest-step move by construction, and the keep-incumbent
+// guard refuses any repair that is not strictly better. Repairs therefore
+// never worsen the objective, and converge to within the QoS degradation
+// limits exactly as a cold solve does.
+#ifndef VDBA_SERVICE_ADVISOR_SERVICE_H_
+#define VDBA_SERVICE_ADVISOR_SERVICE_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/fleet_advisor.h"
+#include "advisor/tenant.h"
+#include "simdb/workload.h"
+#include "simvm/resource_vector.h"
+#include "util/event_queue.h"
+
+namespace vdba::service {
+
+/// AdvisorService configuration.
+struct ServiceOptions {
+  /// Per-machine solve configuration (search strategy, move grid,
+  /// estimator) — the same AdvisorOptions a batch advisor takes. The
+  /// repair loop derives its warm spec from `advisor.search` by replacing
+  /// every dimension's delta schedule with the finest step alone.
+  advisor::AdvisorOptions advisor;
+  /// Admission policy + headroom: arrivals are routed through this
+  /// PlacementPolicy over a single-tenant projected-load demand row.
+  advisor::PlacementSpec placement;
+  /// Gain-weighted saturation (objective seconds the scarcest dimension
+  /// of a machine costs its tenants) above which an event triggers
+  /// cross-machine migration repair. Infinity disables migration; 0
+  /// considers it after every event that touches a machine.
+  double saturation_threshold = 10.0;
+  /// Cap on ACCEPTED migrations per triggering event (each accepted move
+  /// warm-repairs two machines).
+  int max_migrations = 1;
+  /// Tenants offered per migration attempt (worst-relief first).
+  int migration_candidates = 2;
+};
+
+/// What became of one submitted event. Delivered through the
+/// std::future each Submit* call returns, after the worker committed the
+/// event's repair.
+struct EventOutcome {
+  /// False when the event was refused (unknown tenant id, invalid tenant,
+  /// service already stopped); `error` says why and fleet state is
+  /// untouched.
+  bool ok = false;
+  std::string error;
+  /// Global id of the tenant the event concerned (the newly assigned id
+  /// for arrivals; -1 for Reconfigure).
+  int tenant = -1;
+  /// Machine hosting that tenant after the event (-1 after departure).
+  int machine = -1;
+  /// Fleet objective (gain-weighted estimated seconds, all machines)
+  /// after the event was committed.
+  double objective = 0.0;
+  /// Cross-machine migrations the event's saturation repair accepted.
+  int migrations = 0;
+};
+
+/// Point-in-time copy of the fleet state (safe to take from any thread).
+struct FleetSnapshot {
+  /// assignment[id] = machine of global tenant id, -1 if departed (ids
+  /// are never reused).
+  std::vector<int> assignment;
+  /// Per-tenant allocation on its machine (empty for departed tenants).
+  std::vector<simvm::ResourceVector> allocations;
+  /// Per-tenant estimated completion seconds (0 for departed tenants).
+  std::vector<double> estimated_seconds;
+  /// Global ids whose degradation limit the incumbent cannot satisfy.
+  std::vector<int> violated_qos;
+  /// Gain-weighted fleet objective.
+  double objective = 0.0;
+  int active_tenants = 0;
+  long events_handled = 0;
+};
+
+/// \brief The resident advisor: one worker thread incrementally repairing
+/// a live fleet as tenant events stream in.
+///
+/// Thread safety: every public method is safe from any thread. Submit*
+/// enqueue and return immediately; the returned future resolves when the
+/// worker has committed (or refused) the event. Events are handled
+/// strictly in submission (FIFO) order. Stop() — also run by the
+/// destructor — closes the queue and DRAINS it: every event accepted
+/// before Stop() is still handled, then the worker exits; Submit* after
+/// Stop() resolve immediately with ok = false.
+class AdvisorService {
+ public:
+  /// \param machines At least one machine; calibration binding follows
+  ///   FleetMachine::CalibrationFor, exactly like FleetAdvisor.
+  AdvisorService(std::vector<advisor::FleetMachine> machines,
+                 ServiceOptions options = ServiceOptions());
+  ~AdvisorService();
+
+  AdvisorService(const AdvisorService&) = delete;
+  AdvisorService& operator=(const AdvisorService&) = delete;
+
+  /// \brief Tenant arrival: admission + warm repair of one machine.
+  ///
+  /// The tenant is placed through the configured PlacementPolicy on the
+  /// least-loaded feasible machine (its demand probed once per machine
+  /// CLASS — see SameMachineClass), inserted into that machine's resident
+  /// estimator (reusing a departed tenant's slot when one is free), and
+  /// the machine is warm-repaired from the incumbent allocation with the
+  /// incumbents scaled k/(k+1) to fund the newcomer's seed share.
+  std::future<EventOutcome> SubmitArrival(advisor::Tenant tenant);
+
+  /// Tenant departure: frees the slot, invalidates ONLY that tenant's
+  /// cache entries, redistributes the freed share proportionally across
+  /// the survivors' seeds, and warm-repairs the machine.
+  std::future<EventOutcome> SubmitDeparture(int tenant_id);
+
+  /// Workload drift: swaps the tenant's workload (targeted invalidation
+  /// via SetWorkload — every other tenant's cache stays warm) and
+  /// warm-repairs its machine from the incumbent. A drift to an
+  /// identical workload returns the incumbent bit-identical.
+  std::future<EventOutcome> SubmitDrift(int tenant_id,
+                                        simdb::Workload workload);
+
+  /// Full warm repair pass: every occupied machine is repaired from its
+  /// incumbent, then saturation-triggered migration runs fleet-wide.
+  std::future<EventOutcome> SubmitReconfigure();
+
+  /// Closes the queue (further Submit* are refused), drains every
+  /// already-accepted event, and joins the worker. Idempotent.
+  void Stop();
+
+  /// Copy of the fleet state as of the last committed event.
+  FleetSnapshot Snapshot() const;
+
+  int num_machines() const { return static_cast<int>(machines_.size()); }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Machine m's resident estimator (null while the machine has never
+  /// hosted a tenant). Counters/observations are for tests and benches;
+  /// only read this while no event is in flight (estimator mutation
+  /// happens on the worker thread).
+  const advisor::WhatIfCostEstimator* machine_estimator(int m) const {
+    return machines_[static_cast<size_t>(m)].estimator.get();
+  }
+
+ private:
+  enum class EventKind { kArrival, kDeparture, kDrift, kReconfigure };
+
+  struct Event {
+    EventKind kind = EventKind::kReconfigure;
+    advisor::Tenant tenant;      // arrival payload
+    int tenant_id = -1;          // departure / drift target
+    simdb::Workload workload;    // drift payload
+    std::promise<EventOutcome> done;
+  };
+
+  /// One machine's resident state. `estimator` slots are append-only
+  /// (AddTenant) with departed slots parked on `free_slots` and recycled
+  /// through ReplaceTenant, so slot indices — and with them every OTHER
+  /// tenant's cache keys — stay stable across arbitrarily long event
+  /// streams.
+  struct MachineState {
+    advisor::FleetMachine machine;
+    std::unique_ptr<advisor::WhatIfCostEstimator> estimator;
+    /// slot -> global tenant id (-1 = free).
+    std::vector<int> slot_tenant;
+    std::vector<int> free_slots;
+    /// Incumbent allocation / estimated seconds per slot (meaningful for
+    /// occupied slots only).
+    std::vector<simvm::ResourceVector> slot_alloc;
+    std::vector<double> slot_cost;
+    /// Estimated seconds of each slot's workload alone at 100% of this
+    /// machine — the admission load unit.
+    std::vector<double> slot_demand;
+    /// Sum of occupied slots' slot_demand.
+    double load = 0.0;
+    /// Gain-weighted estimated seconds of the incumbent.
+    double cost = 0.0;
+    /// Slots whose degradation limit the incumbent cannot satisfy.
+    std::vector<int> violated_slots;
+
+    std::vector<int> OccupiedSlots() const;
+  };
+
+  struct TenantState {
+    bool active = false;
+    int machine = -1;
+    int slot = -1;
+    /// The tenant as submitted, BEFORE machine calibration binding — the
+    /// form migrations rebind from (binding is per-machine, §4.3, so a
+    /// src-bound copy cannot be handed to another box).
+    advisor::Tenant original;
+  };
+
+  std::future<EventOutcome> Enqueue(Event event);
+  void WorkerLoop();
+  EventOutcome Handle(Event& event);
+  EventOutcome HandleArrival(Event& event);
+  EventOutcome HandleDeparture(const Event& event);
+  EventOutcome HandleDrift(Event& event);
+  EventOutcome HandleReconfigure();
+
+  /// Estimated seconds of `tenant` alone at 100% of each machine, probed
+  /// once per machine class (classmates share the value — see
+  /// SameMachineClass).
+  std::vector<double> ProbeDemandRow(const advisor::Tenant& tenant) const;
+  /// Admission: projected-load demand row through the PlacementPolicy.
+  int Admit(const std::vector<double>& demand_row) const;
+
+  /// `tenant` with its calibration re-bound to machine m's models (the
+  /// FleetAdvisor rule: null machine model keeps the tenant's own).
+  advisor::Tenant BoundTenant(int m, const advisor::Tenant& tenant) const;
+  /// Puts `bound` on machine m — reusing a freed estimator slot when one
+  /// exists, appending otherwise — and publishes the slot binding.
+  int InsertTenant(int m, advisor::Tenant bound, int global_id,
+                   double demand);
+  /// Frees machine m's `slot` and invalidates only that tenant's cache
+  /// entries.
+  void RemoveTenant(int m, int slot);
+  /// Warm seeds after inserting `new_slot`: incumbents scaled k/(k+1)
+  /// per dimension, the newcomer funded with the freed 1/(k+1) slice.
+  std::vector<simvm::ResourceVector> ArrivalSeeds(
+      const MachineState& ms, const std::vector<int>& slots,
+      int new_slot) const;
+  /// Warm seeds after a departure: survivors' incumbents scaled up
+  /// (S+F)/S per dimension to absorb the freed share F.
+  std::vector<simvm::ResourceVector> DepartureSeeds(
+      const MachineState& ms, const std::vector<int>& slots,
+      const simvm::ResourceVector& freed) const;
+  /// Attempts moving machine src's `slot` to dst: performs the move on
+  /// the resident estimators, warm-repairs both machines, and rolls the
+  /// whole thing back unless the pair objective strictly improves with no
+  /// new QoS violation.
+  bool TryMigrate(int src, int slot, int dst);
+
+  /// Warm-repairs machine m's incumbent from `seeds` (finest-step spec +
+  /// keep-incumbent-unless-strictly-better guard) and commits the result
+  /// into its MachineState. Pass empty seeds for a cold solve (first
+  /// arrival on a machine).
+  void RepairMachine(int m, std::vector<simvm::ResourceVector> seeds);
+  /// Saturation of machine m's scarcest dimension (gain-weighted relief
+  /// seconds) and that dimension's per-slot relief, probed in one
+  /// EstimateMany fan-out. Returns the saturated dimension (-1 when
+  /// nothing is contended).
+  int ProbeSaturation(int m, double* saturation,
+                      std::vector<double>* slot_relief);
+  /// Saturation-triggered migration repair around machine m. Returns
+  /// accepted moves (<= options_.max_migrations).
+  int MaybeMigrate(int m);
+
+  double FleetObjective() const;
+  std::vector<int> GlobalViolations() const;
+
+  ServiceOptions options_;
+  std::vector<MachineState> machines_;
+  /// Global tenant table; ids are indices and are never reused.
+  std::vector<TenantState> tenants_;
+
+  EventQueue<Event> queue_;
+  std::thread worker_;
+  /// Guards machines_/tenants_/events_handled_ between the worker's
+  /// commit points and Snapshot(). The worker is the only mutator, so it
+  /// reads without the lock and takes it only to publish.
+  mutable std::mutex state_mu_;
+  long events_handled_ = 0;
+  std::once_flag stop_once_;
+};
+
+}  // namespace vdba::service
+
+#endif  // VDBA_SERVICE_ADVISOR_SERVICE_H_
