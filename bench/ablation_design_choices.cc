@@ -6,7 +6,12 @@
 //  search strategies: every registered SearchStrategy on the same M = 3
 //       tenants, plus an M = 4 arm with a data-shipping tenant (objective
 //       + latency recorded per strategy and dimensionality, so the perf
-//       gate guards the strategy code paths).
+//       gate guards the strategy code paths),
+//  dp_prune optimality sweep: N in {2, 4, 8, 16} at M = 4 — the bench's
+//       exit code enforces that dp_prune is bit-identical to exhaustive at
+//       N <= 4, beats-or-ties an on-grid greedy at N = 16, and stays under
+//       the latency gate (the quality-vs-latency story past the exhaustive
+//       tenant limit).
 #include <chrono>
 #include <cstdio>
 
@@ -157,6 +162,109 @@ int main() {
     RecordMetric("strategy_" + name + "_m4_latency_ms", ms);
   }
   s4.Print();
+
+  // --- dp_prune optimality sweep: N in {2, 4, 8, 16} at M = 4 ---
+  // The quality-vs-latency story past the exhaustive tenant limit: the DP
+  // must reproduce the exhaustive optimum bit-for-bit where exhaustive can
+  // still run, and keep beating the heuristics where it cannot. Grid
+  // parameters shrink with N so the residual-budget step count (the DP
+  // table's width) stays bounded; the heuristics are seeded ON the DP's
+  // share ladder (min_share + k * delta), because their delta moves from
+  // the off-ladder 1/N split would explore a shifted grid that no
+  // optimality claim covers.
+  std::printf("\n--- dp_prune optimality sweep (M = 4) ---\n");
+  struct SweepPoint {
+    int n;
+    double delta;
+    double min_share;
+    std::vector<double> greedy_init;  // on-ladder shares, every dimension
+  };
+  const std::vector<SweepPoint> sweep = {
+      {2, 0.2, 0.05, {0.45, 0.45}},
+      {4, 0.2, 0.15, {0.35, 0.35, 0.15, 0.15}},
+      {8, 0.1, 0.05, {0.15, 0.15, 0.15, 0.15, 0.15, 0.15, 0.05, 0.05}},
+      {16, 0.05, 0.05, {0.1, 0.1, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05, 0.05,
+                        0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05}},
+  };
+  // Generous absolute ceiling for the N = 16 DP solve: an order of
+  // magnitude above what a 1-core CI host measures, so the gate catches
+  // complexity regressions (table blow-ups), not host jitter.
+  constexpr double kDpLatencyGateMsN16 = 60000.0;
+
+  std::vector<simdb::Workload> mix = {w1, w2, w3, wx};
+  bool gates_ok = true;
+  TablePrinter sweep_table({"N", "strategy", "objective (est s)",
+                            "iter/evals", "ms"});
+  for (const SweepPoint& point : sweep) {
+    std::vector<advisor::Tenant> tn;
+    for (int i = 0; i < point.n; ++i) {
+      tn.push_back(tb.MakeTenant(
+          tb.db2_sf1(), mix[static_cast<size_t>(i) % mix.size()]));
+    }
+    std::vector<simvm::ResourceVector> on_grid;
+    for (double share : point.greedy_init) {
+      on_grid.push_back(simvm::ResourceVector::Uniform(4, share));
+    }
+
+    auto run = [&](const std::string& name,
+                   std::vector<simvm::ResourceVector> initial) {
+      advisor::AdvisorOptions opts;
+      opts.search.strategy = name;
+      opts.search.enumerator.delta = point.delta;
+      opts.search.enumerator.min_share = point.min_share;
+      advisor::VirtualizationDesignAdvisor adv(m4, tn, opts);
+      auto start = std::chrono::steady_clock::now();
+      advisor::Recommendation rec = adv.Recommend(std::move(initial));
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      sweep_table.AddRow({std::to_string(point.n), rec.strategy,
+                          TablePrinter::Num(rec.objective, 0),
+                          std::to_string(rec.iterations),
+                          TablePrinter::Num(ms, 1)});
+      const std::string prefix =
+          "strategy_" + name + "_n" + std::to_string(point.n);
+      RecordMetric(prefix + "_objective_sec", rec.objective);
+      RecordMetric(prefix + "_latency_ms", ms);
+      return std::make_pair(rec, ms);
+    };
+
+    auto [dp, dp_ms] = run("dp_prune", {});
+    auto [greedy, greedy_ms] = run("greedy", on_grid);
+    // The annealing walk also needs the on-ladder start: from the 1/N
+    // split a single finest-delta transfer would cut below min_share at
+    // these coarse grids, leaving it no move frontier at all.
+    run("annealing", on_grid);
+
+    if (point.n <= 4) {
+      auto [ex, ex_ms] = run("exhaustive", {});
+      if (dp.objective != ex.objective ||
+          dp.allocations != ex.allocations) {
+        std::printf("GATE FAILED: dp_prune is not bit-identical to "
+                    "exhaustive at N = %d (dp %.17g vs ex %.17g)\n",
+                    point.n, dp.objective, ex.objective);
+        gates_ok = false;
+      }
+    }
+    if (point.n == 16) {
+      if (dp.objective > greedy.objective + 1e-9) {
+        std::printf("GATE FAILED: dp_prune (%.6f) worse than on-grid "
+                    "greedy (%.6f) at N = 16\n",
+                    dp.objective, greedy.objective);
+        gates_ok = false;
+      }
+      if (dp_ms > kDpLatencyGateMsN16) {
+        std::printf("GATE FAILED: dp_prune N = 16 took %.0f ms "
+                    "(gate %.0f ms)\n",
+                    dp_ms, kDpLatencyGateMsN16);
+        gates_ok = false;
+      }
+    }
+  }
+  sweep_table.Print();
+  std::printf("(gates: dp_prune == exhaustive bit-for-bit at N <= 4; "
+              "dp_prune <= on-grid greedy at N = 16 under %.0f ms)\n",
+              kDpLatencyGateMsN16);
   PrintFooter();
-  return 0;
+  return gates_ok ? 0 : 1;
 }

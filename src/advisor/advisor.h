@@ -40,7 +40,10 @@ struct Recommendation {
   /// Estimated relative improvement over the default 1/N allocation,
   /// using estimated costs: (T_default - T_advisor) / T_default.
   double estimated_improvement = 0.0;
-  /// Name of the search strategy that produced the recommendation.
+  /// What actually produced the recommendation: the strategy's registry
+  /// key, or its EnumerationResult::effective_strategy when the run
+  /// degenerated (e.g. "exhaustive(fallback:local_search)" past 4
+  /// tenants).
   std::string strategy;
 };
 

@@ -8,6 +8,8 @@
 
 #include "advisor/exhaustive_enumerator.h"
 #include "advisor/greedy_enumerator.h"
+#include "search/annealing_strategy.h"
+#include "search/dp_prune_strategy.h"
 #include "util/check.h"
 
 namespace vdba::advisor {
@@ -84,6 +86,14 @@ const std::map<std::string, StrategyFactory>& Registry() {
        [](const SearchSpec& spec) {
          return std::make_unique<GreedyRefineStrategy>(spec.enumerator);
        }},
+      {"dp_prune",
+       [](const SearchSpec& spec) {
+         return std::make_unique<search::DpPruneStrategy>(spec.enumerator);
+       }},
+      {"annealing",
+       [](const SearchSpec& spec) {
+         return std::make_unique<search::AnnealingStrategy>(spec.enumerator);
+       }},
   };
   return *registry;
 }
@@ -99,6 +109,7 @@ EnumerationResult ExhaustiveStrategy::Run(
 
   BatchAllocationObjective batched = EstimatorObjective(estimator, qos);
   SearchResult best;
+  bool fell_back = false;
   if (n <= kExhaustiveMaxTenants) {
     // The grid holds pinned dimensions at 1/N; when the caller supplies a
     // starting point, substitute its pinned shares into every candidate
@@ -143,12 +154,14 @@ EnumerationResult ExhaustiveStrategy::Run(
       starts.push_back(std::move(initial));
     }
     best = LocalSearchBatched(starts, batched, options_);
+    fell_back = true;
   }
 
   EnumerationResult result =
       FinalizeEnumeration(estimator, qos, std::move(best.allocations));
   result.iterations = ClampToInt(best.evaluations);
   result.converged = true;
+  if (fell_back) result.effective_strategy = "exhaustive(fallback:local_search)";
   return result;
 }
 

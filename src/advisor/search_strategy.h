@@ -40,6 +40,11 @@ struct EnumerationResult {
   /// Tenants whose degradation limit could not be satisfied (best-effort
   /// allocation still returned).
   std::vector<int> violated_qos;
+  /// What actually ran, when it differs from the strategy's registry key —
+  /// e.g. "exhaustive(fallback:local_search)" when ExhaustiveStrategy
+  /// degenerates past its tenant limit. Empty means the registry key is
+  /// the truth; Recommendation::strategy prefers this when set.
+  std::string effective_strategy;
 };
 
 /// Selects and parameterizes a search strategy. The strategy key is a
@@ -49,7 +54,10 @@ struct SearchSpec {
   /// Registered keys: "greedy" (default, Figure 11), "exhaustive" (grid
   /// enumeration; local-search fallback beyond 4 tenants), "local_search"
   /// (steepest-descent hill climbing), "greedy_refine" (greedy then a
-  /// batched local-search polish).
+  /// batched local-search polish), "dp_prune" (dominance-pruned DP over
+  /// tenant prefixes — exhaustive-optimal on the same grid at any N;
+  /// src/search/), "annealing" (batched simulated annealing;
+  /// src/search/).
   std::string strategy = "greedy";
   /// Move grid shared by every strategy (delta steps, min_share, pinned
   /// dimensions, delta schedules).

@@ -1,0 +1,109 @@
+// The simulated-annealing strategy: deterministic despite the stochastic
+// acceptance rule, never worse than its starting point (best-seen is what
+// is returned), and able to find the skewed optimum local search finds.
+#include "search/annealing_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "advisor/search_strategy.h"
+
+namespace vdba::search {
+namespace {
+
+using advisor::CostEstimator;
+using advisor::EnumerationResult;
+using advisor::MakeSearchStrategy;
+using advisor::QosSpec;
+using advisor::SearchSpec;
+using simvm::ResourceVector;
+
+class SyntheticEstimator : public CostEstimator {
+ public:
+  SyntheticEstimator(std::vector<double> alpha_cpu,
+                     std::vector<double> alpha_mem, std::vector<double> beta)
+      : alpha_cpu_(std::move(alpha_cpu)),
+        alpha_mem_(std::move(alpha_mem)),
+        beta_(std::move(beta)) {}
+
+  double EstimateSeconds(int tenant, const ResourceVector& r) override {
+    size_t i = static_cast<size_t>(tenant);
+    return alpha_cpu_[i] / r.cpu_share() + alpha_mem_[i] / r.mem_share() +
+           beta_[i];
+  }
+  int num_tenants() const override {
+    return static_cast<int>(alpha_cpu_.size());
+  }
+  int num_dims() const override { return 2; }
+
+ private:
+  std::vector<double> alpha_cpu_, alpha_mem_, beta_;
+};
+
+EnumerationResult RunAnnealing(const std::vector<double>& ac,
+                               const std::vector<double>& am,
+                               const std::vector<double>& beta,
+                               int n) {
+  SyntheticEstimator est(ac, am, beta);
+  SearchSpec spec;
+  spec.strategy = "annealing";
+  return MakeSearchStrategy(spec)->Run(&est,
+                                       std::vector<QosSpec>(
+                                           static_cast<size_t>(n)),
+                                       {});
+}
+
+TEST(AnnealingStrategyTest, RepeatedRunsAreBitIdentical) {
+  const std::vector<double> ac = {40, 5, 12, 3}, am = {1, 20, 6, 15},
+                            beta = {0, 0, 0, 0};
+  EnumerationResult a = RunAnnealing(ac, am, beta, 4);
+  EnumerationResult b = RunAnnealing(ac, am, beta, 4);
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (size_t i = 0; i < a.allocations.size(); ++i) {
+    EXPECT_EQ(a.allocations[i], b.allocations[i]) << i;  // bitwise
+  }
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(AnnealingStrategyTest, NeverWorseThanTheStartingAllocation) {
+  // Best-seen is returned, so the 1/N start's objective is an upper bound.
+  const std::vector<double> ac = {50, 2, 9}, am = {3, 30, 4},
+                            beta = {1, 1, 1};
+  SyntheticEstimator est(ac, am, beta);
+  double start_obj = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    start_obj += est.EstimateSeconds(i, ResourceVector::Uniform(2, 1.0 / 3));
+  }
+  EnumerationResult res = RunAnnealing(ac, am, beta, 3);
+  EXPECT_LE(res.objective, start_obj + 1e-9);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(AnnealingStrategyTest, FindsTheSkewedOptimum) {
+  // One CPU-hungry tenant: the walk must shift CPU hard toward it.
+  EnumerationResult res = RunAnnealing({50, 1}, {1, 1}, {0, 0}, 2);
+  EXPECT_GT(res.allocations[0].cpu_share(), 0.6);
+  EXPECT_NEAR(
+      res.allocations[0].cpu_share() + res.allocations[1].cpu_share(), 1.0,
+      1e-9);
+}
+
+TEST(AnnealingStrategyTest, HonorsAWarmStartInitial) {
+  // Seeding from an already-good allocation must not end worse than it.
+  const std::vector<double> ac = {40, 4}, am = {2, 10}, beta = {0, 0};
+  SyntheticEstimator est(ac, am, beta);
+  std::vector<ResourceVector> init = {{0.85, 0.2}, {0.15, 0.8}};
+  double init_obj = est.EstimateSeconds(0, init[0].Expanded(2)) +
+                    est.EstimateSeconds(1, init[1].Expanded(2));
+  SearchSpec spec;
+  spec.strategy = "annealing";
+  EnumerationResult res =
+      MakeSearchStrategy(spec)->Run(&est, std::vector<QosSpec>(2), init);
+  EXPECT_LE(res.objective, init_obj + 1e-9);
+}
+
+}  // namespace
+}  // namespace vdba::search

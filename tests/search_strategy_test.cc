@@ -42,7 +42,8 @@ class SyntheticEstimator : public CostEstimator {
 TEST(SearchStrategyFactoryTest, RoundTripsEveryRegisteredName) {
   std::vector<std::string> names = RegisteredSearchStrategies();
   for (const char* expected :
-       {"greedy", "exhaustive", "local_search", "greedy_refine"}) {
+       {"greedy", "exhaustive", "local_search", "greedy_refine", "dp_prune",
+        "annealing"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -57,8 +58,25 @@ TEST(SearchStrategyFactoryTest, RoundTripsEveryRegisteredName) {
 
 TEST(SearchStrategyFactoryTest, UnknownNameAborts) {
   SearchSpec spec;
-  spec.strategy = "simulated_annealing";
+  spec.strategy = "branch_and_bound";
   EXPECT_DEATH(MakeSearchStrategy(spec), "unknown search strategy");
+}
+
+TEST(SearchStrategyTest, ExhaustiveRecordsItsFallbackPastFourTenants) {
+  // At N <= 4 the grid actually runs: the registry key is the truth.
+  SyntheticEstimator small({36, 4}, {2, 8}, {0, 0});
+  SearchSpec spec;
+  spec.strategy = "exhaustive";
+  EnumerationResult grid =
+      MakeSearchStrategy(spec)->Run(&small, std::vector<QosSpec>(2), {});
+  EXPECT_TRUE(grid.effective_strategy.empty());
+
+  // At N > 4 it degenerates to local search and must say so.
+  SyntheticEstimator big({30, 4, 9, 2, 17}, {2, 12, 3, 8, 1},
+                         {0, 0, 0, 0, 0});
+  EnumerationResult fallback =
+      MakeSearchStrategy(spec)->Run(&big, std::vector<QosSpec>(5), {});
+  EXPECT_EQ(fallback.effective_strategy, "exhaustive(fallback:local_search)");
 }
 
 TEST(SearchStrategyTest, GreedyViaStrategyIsBitIdenticalToDirectCall) {
