@@ -25,6 +25,18 @@ derived from the metric name:
   containing ``latency`` (wall-clock style metrics, e.g. the fleet
   arm's ``fleet_solve_latency_ms_*``).
 
+The service bench's multi-worker arms emit the
+``service_throughput_events_per_sec_w{1,2,4,8}`` family (events per
+second through the sharded repair loop at each worker count), which
+gates higher-is-better via the ``per_sec`` token once snapshotted —
+until the next ``--snapshot`` refresh it warns-and-passes like any
+PR-added metric. ``service_worker_scaling_w4`` (the w4/w1 ratio) stays
+informational here: like the parallel-speedup floors it degenerates to
+~1x on few-core hosts, so the bench's own exit code enforces it
+hardware-conditionally instead, alongside the correctness gates
+(multi-worker final state bit-identical to ``workers=1``, coalesced
+storm equal to the uncoalesced replay with fewer repairs).
+
 The search-strategy sweep follows the same rules: the ablation bench's
 ``strategy_<name>_objective_sec`` / ``strategy_<name>_latency_ms``
 families (plain, ``_m4``, and the dp_prune optimality sweep's

@@ -160,6 +160,133 @@ struct EventTiming {
   double speedup() const { return warm_ms > 0.0 ? cold_ms / warm_ms : 0.0; }
 };
 
+// ---------------------------------------------------------------------------
+// Multi-worker arms (PR: sharded event loop)
+// ---------------------------------------------------------------------------
+
+/// A drifted workload for tenant `id`, deterministic in (id, variant) so
+/// every worker-count arm replays the exact same schedule.
+simdb::Workload BurstWorkload(const scenario::Testbed& tb, int id,
+                              int variant) {
+  const int query_pool[] = {1, 3, 6, 12, 14, 18, 21};
+  simdb::Workload w;
+  w.AddStatement(
+      workload::TpchQuery(tb.tpch_sf1(),
+                          query_pool[(id + 3 * variant) % 7]),
+      1.0 + (id + variant) % 5);
+  w.AddStatement(
+      workload::TpchQuery(tb.tpch_sf1(), query_pool[(id + variant) % 7]),
+      2.0);
+  return w;
+}
+
+struct WorkerArm {
+  bool ok = false;
+  double burst_seconds = 0.0;
+  long burst_events = 0;
+  service::FleetSnapshot snap;
+  double throughput() const {
+    return burst_seconds > 0.0 ? burst_events / burst_seconds : 0.0;
+  }
+};
+
+/// One fresh service runs the SAME event schedule at `workers`: 64
+/// arrivals to the warm steady state, then a timed burst of drifts
+/// submitted without waiting (so lanes genuinely backlog), then 8
+/// departures. `duplicate_storm` switches the burst to the coalescing
+/// schedule: each of 32 tenants re-reports ONE new workload 6 times
+/// behind a Reconfigure plug (so runs are fully enqueued before their
+/// head pops).
+WorkerArm RunWorkerArm(const std::vector<advisor::FleetMachine>& fleet,
+                       const std::vector<advisor::Tenant>& tenants,
+                       const scenario::Testbed& tb, int workers,
+                       bool coalesce, bool duplicate_storm) {
+  WorkerArm arm;
+  service::ServiceOptions options;
+  options.advisor = SolveOptions();
+  // Apples-to-apples across worker counts: one estimator thread per
+  // repair everywhere (the sharded service pins this itself at
+  // workers > 1), so the arms differ ONLY in lane concurrency.
+  options.advisor.estimator.batch_threads = 1;
+  options.saturation_threshold = std::numeric_limits<double>::infinity();
+  options.workers = workers;
+  options.coalesce_drift = coalesce;
+  service::AdvisorService svc(fleet, options);
+
+  for (int i = 0; i < kTenants; ++i) {
+    service::EventOutcome out =
+        svc.SubmitArrival(tenants[static_cast<size_t>(i)]).get();
+    if (!out.ok) {
+      std::printf("w%d arm: arrival %d refused: %s\n", workers, i,
+                  out.error.c_str());
+      return arm;
+    }
+  }
+
+  std::vector<std::future<service::EventOutcome>> futures;
+  double start = NowSeconds();
+  if (duplicate_storm) {
+    futures.push_back(svc.SubmitReconfigure());
+    for (int id = 0; id < 32; ++id) {
+      for (int d = 0; d < 6; ++d) {
+        futures.push_back(svc.SubmitDrift(id, BurstWorkload(tb, id, 9)));
+      }
+    }
+  } else {
+    constexpr int kBurst = 192;
+    futures.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      const int id = (i * 7) % kTenants;  // gcd(7,64)=1: all tenants cycle
+      futures.push_back(
+          svc.SubmitDrift(id, BurstWorkload(tb, id, 1 + i / kTenants)));
+    }
+  }
+  for (std::future<service::EventOutcome>& f : futures) {
+    service::EventOutcome out = f.get();
+    if (!out.ok) {
+      std::printf("w%d arm: burst event refused: %s\n", workers,
+                  out.error.c_str());
+      return arm;
+    }
+  }
+  arm.burst_seconds = NowSeconds() - start;
+  arm.burst_events = static_cast<long>(futures.size());
+
+  if (!duplicate_storm) {
+    for (int k = 0; k < 8; ++k) {
+      service::EventOutcome out = svc.SubmitDeparture(8 * k + 3).get();
+      if (!out.ok) {
+        std::printf("w%d arm: departure refused: %s\n", workers,
+                    out.error.c_str());
+        return arm;
+      }
+    }
+  }
+  arm.snap = svc.Snapshot();
+  arm.ok = true;
+  return arm;
+}
+
+/// Bitwise equality of everything a schedule must determine
+/// (coalesced_drifts excluded: it describes batching, not fleet state).
+bool SnapshotsBitIdentical(const service::FleetSnapshot& a,
+                           const service::FleetSnapshot& b) {
+  if (a.active_tenants != b.active_tenants ||
+      a.events_handled != b.events_handled ||
+      a.assignment != b.assignment || a.violated_qos != b.violated_qos ||
+      a.objective != b.objective ||
+      a.allocations.size() != b.allocations.size()) {
+    return false;
+  }
+  for (size_t id = 0; id < a.allocations.size(); ++id) {
+    if (!(a.allocations[id] == b.allocations[id]) ||
+        a.estimated_seconds[id] != b.estimated_seconds[id]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -304,6 +431,81 @@ int main() {
   }
   t.Print();
 
+  // --- Multi-worker sharded loop: throughput scaling + bit-identity -------
+  // Fresh service per worker count, identical event schedule; the final
+  // fleet state must be a pure function of the schedule, so every arm's
+  // snapshot must be bitwise equal to the workers=1 (serial-path) arm's.
+  const std::vector<advisor::Tenant> arm_tenants = MakeFleetTenants(tb, kTenants);
+  std::printf("\nsharded event loop, burst of 192 drifts over %dx%d:\n",
+              kMachines, kTenants);
+  TablePrinter wt({"workers", "burst (s)", "events/s", "vs w1", "state vs w1"});
+  bool multiworker_identical = true;
+  double tput_w1 = 0.0;
+  double tput_w4 = 0.0;
+  service::FleetSnapshot w1_snap;
+  for (int workers : {1, 2, 4, 8}) {
+    WorkerArm arm = RunWorkerArm(fleet, arm_tenants, tb, workers,
+                                 /*coalesce=*/false, /*duplicate_storm=*/false);
+    if (!arm.ok) return 1;
+    const double tput = arm.throughput();
+    bool identical = true;
+    if (workers == 1) {
+      w1_snap = arm.snap;
+      tput_w1 = tput;
+    } else {
+      identical = SnapshotsBitIdentical(arm.snap, w1_snap);
+      multiworker_identical = multiworker_identical && identical;
+    }
+    if (workers == 4) tput_w4 = tput;
+    RecordMetric("service_throughput_events_per_sec_w" +
+                     std::to_string(workers),
+                 tput);
+    wt.AddRow({std::to_string(workers),
+               TablePrinter::Num(arm.burst_seconds, 3),
+               TablePrinter::Num(tput, 1),
+               TablePrinter::Num(tput_w1 > 0.0 ? tput / tput_w1 : 0.0, 2),
+               workers == 1 ? "(reference)"
+                            : (identical ? "bit-identical" : "DIVERGED")});
+  }
+  wt.Print();
+  const double scaling_w4 = tput_w1 > 0.0 ? tput_w4 / tput_w1 : 0.0;
+  const bool multicore = ThreadPool::DefaultThreads() >= 4;
+  // Thread-independent gating (PR 7 rule): the >= 2x floor is hard only
+  // where 4 lane workers can actually run in parallel.
+  const bool scaling_ok = !multicore || scaling_w4 >= 2.0;
+  RecordMetric("service_worker_scaling_w4", scaling_w4);
+  RecordMetric("service_multiworker_state_identical",
+               multiworker_identical ? 1.0 : 0.0);
+  RecordMetric("service_worker_scaling_ok", scaling_ok ? 1.0 : 0.0);
+
+  // --- Coalescing: duplicate storm vs uncoalesced replay ------------------
+  // 32 tenants each re-report one new workload 6 times behind a
+  // Reconfigure plug. Coalescing must cut repairs (coalesced_drifts > 0,
+  // i.e. repair count < event count) yet land on the exact state the
+  // uncoalesced serial replay lands on.
+  WorkerArm replay = RunWorkerArm(fleet, arm_tenants, tb, /*workers=*/1,
+                                  /*coalesce=*/false, /*duplicate_storm=*/true);
+  WorkerArm co1 = RunWorkerArm(fleet, arm_tenants, tb, /*workers=*/1,
+                               /*coalesce=*/true, /*duplicate_storm=*/true);
+  WorkerArm co4 = RunWorkerArm(fleet, arm_tenants, tb, /*workers=*/4,
+                               /*coalesce=*/true, /*duplicate_storm=*/true);
+  if (!replay.ok || !co1.ok || !co4.ok) return 1;
+  const bool coalesce_identical =
+      SnapshotsBitIdentical(co1.snap, replay.snap) &&
+      SnapshotsBitIdentical(co4.snap, replay.snap);
+  const bool coalesce_saves =
+      replay.snap.coalesced_drifts == 0 && co1.snap.coalesced_drifts > 0;
+  RecordMetric("service_coalesced_drifts_w1",
+               static_cast<double>(co1.snap.coalesced_drifts));
+  RecordMetric("service_coalesce_state_identical",
+               coalesce_identical ? 1.0 : 0.0);
+  std::printf(
+      "duplicate storm (192 events): uncoalesced repairs %ld, coalesced "
+      "repairs %ld (w1) / %ld (w4)\n",
+      replay.burst_events - 1, replay.burst_events - 1 -
+          co1.snap.coalesced_drifts,
+      replay.burst_events - 1 - co4.snap.coalesced_drifts);
+
   // --- Gates ---------------------------------------------------------------
   const bool latency_ok = arrival.speedup() >= 5.0;
   auto quality_ok = [](const EventTiming& e) {
@@ -328,6 +530,24 @@ int main() {
               cost_ok ? "yes" : "NO");
   std::printf("no-op drift bit-identical: %s\n",
               noop_identical ? "yes" : "NO (bug)");
+  std::printf("multi-worker final state bit-identical to workers=1: %s\n",
+              multiworker_identical ? "yes" : "NO (bug)");
+  if (multicore) {
+    std::printf("4-worker throughput scaling: %.2fx (gate >= 2x: %s)\n",
+                scaling_w4, scaling_ok ? "yes" : "NO");
+  } else {
+    std::printf(
+        "4-worker throughput scaling: %.2fx (1-core host: >= 2x gate "
+        "soft-warns)\n",
+        scaling_w4);
+  }
+  std::printf("coalesced storm bit-identical to uncoalesced replay: %s\n",
+              coalesce_identical ? "yes" : "NO (bug)");
+  std::printf("coalescing performed fewer repairs than events: %s\n",
+              coalesce_saves ? "yes" : "NO");
   PrintFooter();
-  return latency_ok && cost_ok && noop_identical ? 0 : 1;
+  return latency_ok && cost_ok && noop_identical && multiworker_identical &&
+                 scaling_ok && coalesce_identical && coalesce_saves
+             ? 0
+             : 1;
 }

@@ -178,9 +178,12 @@ class WhatIfCostEstimator : public CostEstimator {
   void SetWorkload(int tenant, simdb::Workload workload);
 
   // --- Resident-service mutation APIs (src/service/) -----------------------
-  // Like SetWorkload, none of these are safe concurrently with estimation:
-  // the resident AdvisorService calls them only from its single worker
-  // thread, between estimation fan-outs.
+  // Like SetWorkload, these are not safe concurrently with estimation OF
+  // THE SAME tenant: the resident AdvisorService serializes each
+  // tenant's events on its machine's lane. InvalidateTenant(t) alone is
+  // additionally safe concurrently with estimation of tenants != t (see
+  // below) — the guarantee concurrent lane repairs and Snapshot readers
+  // lean on.
 
   /// \brief Drops exactly one tenant's cache entries and observation log;
   /// every other tenant's entries stay warm.
@@ -189,6 +192,14 @@ class WhatIfCostEstimator : public CostEstimator {
   /// built on: a tenant event (arrival, departure, drift, migration) must
   /// not cost the whole fleet its what-if cache. SetWorkload routes
   /// through it.
+  ///
+  /// Safe concurrently with estimation of OTHER tenants: eviction takes
+  /// each shard's writer lock, the cache map is node-based (references to
+  /// other tenants' entries stay valid across the erases), and estimates
+  /// are pure functions of (machine, tenant, allocation) — so a racing
+  /// disjoint reader can at worst recompute a value, never read a wrong
+  /// one (tested by vectorized_probe_test
+  /// InvalidateTenantIsSafeUnderDisjointReaders).
   void InvalidateTenant(int tenant);
 
   /// Appends a tenant (same validity requirements as the constructor) and

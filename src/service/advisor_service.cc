@@ -1,6 +1,7 @@
 #include "service/advisor_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <set>
 #include <utility>
@@ -91,12 +92,27 @@ AdvisorService::AdvisorService(std::vector<advisor::FleetMachine> machines,
     : options_(std::move(options)) {
   VDBA_CHECK(!machines.empty());
   VDBA_CHECK_GT(options_.placement.headroom, 0.0);
+  options_.workers = std::max(1, options_.workers);
   machines_.resize(machines.size());
   for (size_t m = 0; m < machines.size(); ++m) {
     VDBA_CHECK(machines[m].hardware.resources != nullptr);
     machines_[m].machine = machines[m];
   }
-  worker_ = std::thread(&AdvisorService::WorkerLoop, this);
+  if (options_.workers == 1) {
+    worker_ = std::thread(&AdvisorService::WorkerLoop, this);
+    return;
+  }
+  // Sharded loop: the parallelism budget goes to concurrent LANES, so
+  // each resident estimator's own fan-out is pinned to one thread
+  // (estimates are thread-count invariant — the FleetAdvisor rule — so
+  // this changes nothing but scheduling).
+  options_.advisor.estimator.batch_threads = 1;
+  lanes_ = std::make_unique<ShardedQueue<Event>>(num_machines());
+  lane_workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    lane_workers_.emplace_back(&AdvisorService::LaneWorkerLoop, this);
+  }
+  dispatcher_ = std::thread(&AdvisorService::DispatchLoop, this);
 }
 
 AdvisorService::~AdvisorService() { Stop(); }
@@ -104,6 +120,14 @@ AdvisorService::~AdvisorService() { Stop(); }
 void AdvisorService::Stop() {
   std::call_once(stop_once_, [this] {
     queue_.Close();
+    // Serial: the worker drains the queue and exits. Sharded: the
+    // dispatcher drains the queue into the lanes, closes them, and
+    // exits; the lane workers then drain the lanes and exit. Either
+    // way every accepted event is handled before the join returns.
+    if (dispatcher_.joinable()) dispatcher_.join();
+    for (std::thread& w : lane_workers_) {
+      if (w.joinable()) w.join();
+    }
     if (worker_.joinable()) worker_.join();
   });
 }
@@ -150,14 +174,115 @@ std::future<EventOutcome> AdvisorService::SubmitReconfigure() {
   return Enqueue(std::move(event));
 }
 
+void AdvisorService::Complete(Event& event, EventOutcome outcome) {
+  {
+    std::lock_guard lock(state_mu_);
+    ++events_handled_;
+  }
+  event.done.set_value(std::move(outcome));
+}
+
 void AdvisorService::WorkerLoop() {
   while (std::optional<Event> event = queue_.WaitPop()) {
-    EventOutcome outcome = Handle(*event);
-    {
-      std::lock_guard lock(state_mu_);
-      ++events_handled_;
+    if (event->kind == EventKind::kDrift) {
+      std::vector<Event> batch;
+      batch.push_back(std::move(*event));
+      if (options_.coalesce_drift) {
+        const int id = batch.front().tenant_id;
+        while (std::optional<Event> more =
+                   queue_.PopIf([id](const Event& e) {
+                     return e.kind == EventKind::kDrift && e.tenant_id == id;
+                   })) {
+          batch.push_back(std::move(*more));
+        }
+      }
+      HandleDriftRun(batch);
+    } else {
+      Complete(*event, Handle(*event));
     }
-    event->done.set_value(std::move(outcome));
+  }
+}
+
+bool AdvisorService::MigrationArmed() const {
+  return num_machines() >= 2 && options_.max_migrations > 0 &&
+         std::isfinite(options_.saturation_threshold);
+}
+
+int AdvisorService::RouteLane(const Event& event) const {
+  switch (event.kind) {
+    case EventKind::kArrival:
+    case EventKind::kReconfigure:
+      // Cross-machine by nature: admission reads every machine's load,
+      // Reconfigure repairs the whole fleet.
+      return -1;
+    case EventKind::kDeparture:
+    case EventKind::kDrift: {
+      // A machine-local repair — unless it may trigger migration, which
+      // reads and writes OTHER machines and so needs the fleet to
+      // itself. Migration being armed is a property of the options, so
+      // the sharded loop keeps full lane concurrency exactly when
+      // repairs are provably machine-local.
+      if (MigrationArmed()) return -1;
+      const int id = event.tenant_id;
+      std::lock_guard lock(state_mu_);
+      if (id >= 0 && static_cast<size_t>(id) < tenants_.size() &&
+          tenants_[static_cast<size_t>(id)].active) {
+        // The binding cannot go stale: machines change only through
+        // migration (an epoch, impossible here) or a departure — which,
+        // being FIFO in this very lane, executes first and turns the
+        // event into the refusal it would have been serially.
+        return tenants_[static_cast<size_t>(id)].machine;
+      }
+      // Refused at execution whatever the lane; lane 0 keeps it ordered.
+      return 0;
+    }
+  }
+  return -1;
+}
+
+void AdvisorService::DispatchLoop() {
+  while (std::optional<Event> event = queue_.WaitPop()) {
+    const int lane = RouteLane(*event);
+    if (lane >= 0) {
+      // Cannot fail: the lanes close only after this loop exits.
+      lanes_->Push(lane, std::move(*event));
+      continue;
+    }
+    // Global epoch: drain every in-flight lane repair, then handle the
+    // cross-machine event inline with exclusive ownership of the fleet.
+    lanes_->WaitIdle();
+    if (event->kind == EventKind::kDrift) {
+      std::vector<Event> batch;
+      batch.push_back(std::move(*event));
+      HandleDriftRun(batch);
+    } else {
+      Complete(*event, Handle(*event));
+    }
+  }
+  lanes_->Close();
+}
+
+void AdvisorService::LaneWorkerLoop() {
+  while (std::optional<ShardedQueue<Event>::Popped> popped =
+             lanes_->PopLane()) {
+    const int lane = popped->lane;
+    if (popped->item.kind == EventKind::kDrift) {
+      std::vector<Event> batch;
+      batch.push_back(std::move(popped->item));
+      if (options_.coalesce_drift) {
+        const int id = batch.front().tenant_id;
+        while (std::optional<Event> more =
+                   lanes_->PopMoreIf(lane, [id](const Event& e) {
+                     return e.kind == EventKind::kDrift && e.tenant_id == id;
+                   })) {
+          batch.push_back(std::move(*more));
+        }
+      }
+      HandleDriftRun(batch);
+    } else {
+      Complete(popped->item, Handle(popped->item));
+    }
+    lanes_->Release(lane);
   }
 }
 
@@ -168,7 +293,9 @@ EventOutcome AdvisorService::Handle(Event& event) {
     case EventKind::kDeparture:
       return HandleDeparture(event);
     case EventKind::kDrift:
-      return HandleDrift(event);
+      // Unreachable: every loop routes drift through HandleDriftRun
+      // (which completes the whole run itself).
+      break;
     case EventKind::kReconfigure:
       return HandleReconfigure();
   }
@@ -576,6 +703,11 @@ bool AdvisorService::TryMigrate(int src, int slot, int dst) {
 
 int AdvisorService::MaybeMigrate(int m) {
   if (num_machines() < 2 || options_.max_migrations <= 0) return 0;
+  // An infinite threshold can never fire — skip the saturation probe
+  // outright. (This is also what lets the sharded dispatcher lane-route
+  // events whenever MigrationArmed() is false: a migration-disarmed
+  // repair provably never reads another machine.)
+  if (!std::isfinite(options_.saturation_threshold)) return 0;
   int accepted = 0;
   while (accepted < options_.max_migrations) {
     double saturation = 0.0;
@@ -698,26 +830,36 @@ EventOutcome AdvisorService::HandleDeparture(const Event& event) {
   return outcome;
 }
 
-EventOutcome AdvisorService::HandleDrift(Event& event) {
+void AdvisorService::HandleDriftRun(std::vector<Event>& batch) {
+  VDBA_CHECK(!batch.empty());
   EventOutcome outcome;
-  const int id = event.tenant_id;
+  const int id = batch.front().tenant_id;
   if (id < 0 || static_cast<size_t>(id) >= tenants_.size() ||
       !tenants_[static_cast<size_t>(id)].active) {
+    // Activity cannot change inside a run (only drifts sit between the
+    // batch's events in its lane), so one verdict covers the whole run —
+    // exactly the refusals a serial replay would emit one by one.
     outcome.error = "drift refused: unknown or departed tenant id " +
                     std::to_string(id);
-    return outcome;
+    for (Event& event : batch) Complete(event, outcome);
+    return;
   }
   const int m = tenants_[static_cast<size_t>(id)].machine;
   const int slot = tenants_[static_cast<size_t>(id)].slot;
   MachineState& ms = machines_[static_cast<size_t>(m)];
 
+  // Coalescing: one repair priced at the LATEST workload of the run. The
+  // earlier events' workloads are superseded before anything priced them
+  // (SetWorkload overwrites + invalidates the same slot), which is the
+  // whole saving.
+  Event& last = batch.back();
   {
     std::lock_guard lock(state_mu_);
-    tenants_[static_cast<size_t>(id)].original.workload = event.workload;
+    tenants_[static_cast<size_t>(id)].original.workload = last.workload;
   }
   // SetWorkload = targeted invalidation: only this tenant's cache entries
   // and observations drop; its machine-mates' stay warm.
-  ms.estimator->SetWorkload(slot, std::move(event.workload));
+  ms.estimator->SetWorkload(slot, std::move(last.workload));
   const int dims = ms.machine.hardware.resources->dims();
   const double demand = ms.estimator->EstimateSeconds(
       slot, simvm::ResourceVector::Full(dims));
@@ -725,6 +867,9 @@ EventOutcome AdvisorService::HandleDrift(Event& event) {
     std::lock_guard lock(state_mu_);
     ms.load += demand - ms.slot_demand[static_cast<size_t>(slot)];
     ms.slot_demand[static_cast<size_t>(slot)] = demand;
+    if (batch.size() > 1) {
+      coalesced_drifts_ += static_cast<long>(batch.size()) - 1;
+    }
   }
 
   // Warm repair from the incumbent allocation itself: if the drift was a
@@ -740,7 +885,9 @@ EventOutcome AdvisorService::HandleDrift(Event& event) {
   outcome.tenant = id;
   outcome.machine = tenants_[static_cast<size_t>(id)].machine;
   outcome.objective = FleetObjective();
-  return outcome;
+  // Every event of the run resolves with the shared outcome: an absorbed
+  // drift WAS handled — at the price of the run, not per event.
+  for (Event& event : batch) Complete(event, outcome);
 }
 
 EventOutcome AdvisorService::HandleReconfigure() {
@@ -778,12 +925,17 @@ EventOutcome AdvisorService::HandleReconfigure() {
 // ---------------------------------------------------------------------------
 
 double AdvisorService::FleetObjective() const {
+  std::lock_guard lock(state_mu_);
+  return FleetObjectiveLocked();
+}
+
+double AdvisorService::FleetObjectiveLocked() const {
   double total = 0.0;
   for (const MachineState& ms : machines_) total += ms.cost;
   return total;
 }
 
-std::vector<int> AdvisorService::GlobalViolations() const {
+std::vector<int> AdvisorService::GlobalViolationsLocked() const {
   std::vector<int> violated;
   for (const MachineState& ms : machines_) {
     for (int slot : ms.violated_slots) {
@@ -810,9 +962,10 @@ FleetSnapshot AdvisorService::Snapshot() const {
         ms.slot_cost[static_cast<size_t>(ts.slot)];
     ++snapshot.active_tenants;
   }
-  snapshot.violated_qos = GlobalViolations();
-  snapshot.objective = FleetObjective();
+  snapshot.violated_qos = GlobalViolationsLocked();
+  snapshot.objective = FleetObjectiveLocked();
   snapshot.events_handled = events_handled_;
+  snapshot.coalesced_drifts = coalesced_drifts_;
   return snapshot;
 }
 

@@ -9,7 +9,7 @@
 // from-scratch fleet solve. AdvisorService owns the fleet state as a
 // resident object: per-machine WhatIfCostEstimators stay alive across
 // events (their what-if caches stay warm), a thread-safe MPSC EventQueue
-// feeds one worker thread, and every event is handled by warm-starting
+// feeds the repair worker(s), and every event is handled by warm-starting
 // the configured SearchStrategy from the incumbent allocation with
 // finest-step-only move schedules, after a *targeted* invalidation of
 // only the affected tenant's cache entries
@@ -17,6 +17,22 @@
 // the pluggable PlacementPolicy onto the least-loaded feasible machine;
 // cross-machine migration repair runs only when an event pushes a
 // machine's gain-weighted saturation over a threshold.
+//
+// Concurrency model (docs/service.md "Concurrency model"): with
+// ServiceOptions::workers == 1 (the default) a single worker drains the
+// queue in exact submission order — the PR-8 serial service, unchanged.
+// With workers > 1 a dispatcher thread routes each event to its target
+// machine's serial LANE in a ShardedQueue and a pool of repair workers
+// leases lanes oldest-head-first: per-machine FIFO order is preserved
+// while events for disjoint machines repair concurrently (warm repair
+// only ever mutates one machine's state, so lanes share nothing but the
+// commit mutex). Cross-machine operations — admission placement,
+// Reconfigure, and any event while migration is armed — take a short
+// GLOBAL EPOCH: the dispatcher drains every lane to idle, then handles
+// the event inline with the fleet to itself. Optional drift coalescing
+// (ServiceOptions::coalesce_drift) collapses a pending run of drift
+// events for one tenant into a single repair priced at the latest
+// workload; Snapshot() reports how many events were absorbed this way.
 //
 // Repair-quality contract: handling an event whose workload is unchanged
 // (a no-op drift, or a Reconfigure with nothing new) returns the
@@ -41,6 +57,7 @@
 #include "simdb/workload.h"
 #include "simvm/resource_vector.h"
 #include "util/event_queue.h"
+#include "util/sharded_queue.h"
 
 namespace vdba::service {
 
@@ -64,6 +81,25 @@ struct ServiceOptions {
   int max_migrations = 1;
   /// Tenants offered per migration attempt (worst-relief first).
   int migration_candidates = 2;
+  /// Repair worker threads. 1 (default) runs the serial event loop —
+  /// every event handled in exact submission order on one thread. > 1
+  /// shards the loop: a dispatcher routes events to per-machine serial
+  /// lanes and `workers` threads repair disjoint machines concurrently
+  /// (per-machine estimator fan-out is pinned to 1 thread to avoid
+  /// oversubscription; estimates are thread-count invariant, so results
+  /// do not change). A workers=1 run is bit-identical to the serial
+  /// service on any schedule, by construction.
+  int workers = 1;
+  /// Collapse a pending run of drift events for ONE tenant into a single
+  /// repair priced at the latest workload (per-machine FIFO order is
+  /// never violated; absorbed events resolve with the shared outcome and
+  /// are counted in FleetSnapshot::coalesced_drifts). Exactly
+  /// state-identical to the uncoalesced replay when the run re-reports
+  /// an unchanged workload (the skipped intermediate repairs are no-op
+  /// keeps); for genuinely different intermediate workloads the final
+  /// state is a warm repair of the same final workload seeded from the
+  /// pre-run incumbent instead of the per-step one.
+  bool coalesce_drift = false;
 };
 
 /// What became of one submitted event. Delivered through the
@@ -102,17 +138,22 @@ struct FleetSnapshot {
   double objective = 0.0;
   int active_tenants = 0;
   long events_handled = 0;
+  /// Drift events absorbed into a machine-mate's repair by coalescing
+  /// (0 unless ServiceOptions::coalesce_drift). events_handled still
+  /// counts every absorbed event; this counts the repairs saved.
+  long coalesced_drifts = 0;
 };
 
-/// \brief The resident advisor: one worker thread incrementally repairing
-/// a live fleet as tenant events stream in.
+/// \brief The resident advisor: a pool of repair workers incrementally
+/// repairing a live fleet as tenant events stream in.
 ///
 /// Thread safety: every public method is safe from any thread. Submit*
-/// enqueue and return immediately; the returned future resolves when the
-/// worker has committed (or refused) the event. Events are handled
-/// strictly in submission (FIFO) order. Stop() — also run by the
+/// enqueue and return immediately; the returned future resolves when a
+/// worker has committed (or refused) the event. Events for one machine
+/// are handled strictly in submission (FIFO) order; with workers == 1
+/// (default) so is the whole stream. Stop() — also run by the
 /// destructor — closes the queue and DRAINS it: every event accepted
-/// before Stop() is still handled, then the worker exits; Submit* after
+/// before Stop() is still handled, then the workers exit; Submit* after
 /// Stop() resolve immediately with ok = false.
 class AdvisorService {
  public:
@@ -152,7 +193,7 @@ class AdvisorService {
   std::future<EventOutcome> SubmitReconfigure();
 
   /// Closes the queue (further Submit* are refused), drains every
-  /// already-accepted event, and joins the worker. Idempotent.
+  /// already-accepted event, and joins the worker threads. Idempotent.
   void Stop();
 
   /// Copy of the fleet state as of the last committed event.
@@ -219,11 +260,38 @@ class AdvisorService {
   };
 
   std::future<EventOutcome> Enqueue(Event event);
+  /// The workers == 1 event loop: pops the MPSC queue in submission
+  /// order and handles every event on this one thread (the PR-8 serial
+  /// service).
   void WorkerLoop();
+  /// The workers > 1 front half: classifies each event under state_mu_
+  /// and either pushes it onto its target machine's lane or — for
+  /// cross-machine events — drains every lane (global epoch) and handles
+  /// it inline.
+  void DispatchLoop();
+  /// The workers > 1 back half: leases one lane at a time
+  /// (oldest-head-first) and handles its events; disjoint lanes run on
+  /// distinct workers concurrently.
+  void LaneWorkerLoop();
+  /// Lane for `event` under the sharded loop, or -1 when it must run as
+  /// a global epoch (arrival, reconfigure, or any event while migration
+  /// is armed).
+  int RouteLane(const Event& event) const;
+  /// True when events may trigger cross-machine migration — which forces
+  /// every event through the global-epoch path.
+  bool MigrationArmed() const;
+  /// Publishes `outcome` for `event`: bumps events_handled_ and resolves
+  /// the promise.
+  void Complete(Event& event, EventOutcome outcome);
   EventOutcome Handle(Event& event);
   EventOutcome HandleArrival(Event& event);
   EventOutcome HandleDeparture(const Event& event);
-  EventOutcome HandleDrift(Event& event);
+  /// Handles a run of drift events for ONE tenant (all `batch` entries
+  /// share tenant_id): applies the LATEST workload, repairs the machine
+  /// once, and completes every event with the shared outcome. A batch of
+  /// one is exactly the serial drift handler; larger batches only form
+  /// when coalesce_drift is on.
+  void HandleDriftRun(std::vector<Event>& batch);
   EventOutcome HandleReconfigure();
 
   /// Estimated seconds of `tenant` alone at 100% of each machine, probed
@@ -274,8 +342,13 @@ class AdvisorService {
   /// accepted moves (<= options_.max_migrations).
   int MaybeMigrate(int m);
 
+  /// Gain-weighted fleet objective. Takes state_mu_ — under the sharded
+  /// loop a lane handler races other lanes' repair commits, which publish
+  /// under that mutex.
   double FleetObjective() const;
-  std::vector<int> GlobalViolations() const;
+  /// Variants for callers already holding state_mu_ (Snapshot()).
+  double FleetObjectiveLocked() const;
+  std::vector<int> GlobalViolationsLocked() const;
 
   ServiceOptions options_;
   std::vector<MachineState> machines_;
@@ -283,12 +356,19 @@ class AdvisorService {
   std::vector<TenantState> tenants_;
 
   EventQueue<Event> queue_;
-  std::thread worker_;
-  /// Guards machines_/tenants_/events_handled_ between the worker's
-  /// commit points and Snapshot(). The worker is the only mutator, so it
-  /// reads without the lock and takes it only to publish.
+  /// Per-machine serial lanes (sharded loop only; null at workers == 1).
+  std::unique_ptr<ShardedQueue<Event>> lanes_;
+  std::thread worker_;      // workers == 1
+  std::thread dispatcher_;  // workers > 1
+  std::vector<std::thread> lane_workers_;
+  /// Guards machines_/tenants_/events_handled_/coalesced_drifts_ between
+  /// the workers' commit points and Snapshot()/RouteLane(). A handler
+  /// owns its machine's state exclusively (lane lease or epoch), so it
+  /// reads that without the lock and takes it only to publish — and to
+  /// read anything cross-machine.
   mutable std::mutex state_mu_;
   long events_handled_ = 0;
+  long coalesced_drifts_ = 0;
   std::once_flag stop_once_;
 };
 

@@ -62,6 +62,19 @@ class EventQueue {
     return event;
   }
 
+  /// Non-blocking conditional pop: takes the oldest event iff `pred(event)`
+  /// holds, nullopt otherwise (empty queue included). The consumer-side
+  /// coalescing hook — a consumer that just popped an event can keep
+  /// absorbing equivalent successors without ever blocking or reordering.
+  template <typename Pred>
+  std::optional<T> PopIf(Pred pred) {
+    std::lock_guard lock(mu_);
+    if (items_.empty() || !pred(items_.front())) return std::nullopt;
+    T event = std::move(items_.front());
+    items_.pop_front();
+    return event;
+  }
+
   /// Refuses future Push calls and wakes the consumer. Already-accepted
   /// events remain poppable — Close() starts the drain, it does not drop.
   void Close() {

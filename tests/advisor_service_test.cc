@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <limits>
 #include <optional>
@@ -75,6 +77,69 @@ TEST(EventQueueTest, CloseRefusesNewPushesButDrainsAcceptedOnes) {
     EXPECT_EQ(*got, i);
   }
   EXPECT_FALSE(queue.WaitPop().has_value());
+}
+
+TEST(EventQueueTest, ProducersRacingCloseLoseNoEventAndLeakNoPromise) {
+  // Regression for the Close() promise-completion path: 4 producers
+  // hammer Push while the main thread closes mid-stream. The contract
+  // under the race: every ACCEPTED event is drained (and its promise
+  // resolved by the consumer), every REFUSED event stays with its
+  // producer (Push does not consume on refusal) so the producer can
+  // resolve its promise — the AdvisorService::Enqueue pattern. Nothing
+  // may be lost or resolved twice.
+  struct Item {
+    int producer = -1;
+    std::promise<int> done;
+  };
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 400;
+  EventQueue<Item> queue;
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> refused{0};
+  std::vector<std::vector<std::future<int>>> futures(kProducers);
+  std::atomic<int> drained{0};
+  std::thread consumer([&] {
+    while (std::optional<Item> item = queue.WaitPop()) {
+      drained.fetch_add(1);
+      item->done.set_value(1);  // handled
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    futures[static_cast<size_t>(p)].reserve(kPerProducer);
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Item item;
+        item.producer = p;
+        futures[static_cast<size_t>(p)].push_back(item.done.get_future());
+        if (queue.Push(std::move(item))) {
+          accepted.fetch_add(1);
+        } else {
+          refused.fetch_add(1);
+          item.done.set_value(0);  // refused — the producer completes it
+        }
+      }
+    });
+  }
+  // Close somewhere in the middle of the hammering.
+  while (accepted.load() < kPerProducer / 2) std::this_thread::yield();
+  queue.Close();
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+
+  EXPECT_EQ(accepted.load() + refused.load(), kProducers * kPerProducer);
+  EXPECT_EQ(drained.load(), accepted.load()) << "accepted event lost";
+  int handled = 0;
+  for (auto& per_producer : futures) {
+    for (std::future<int>& f : per_producer) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "a promise never completed";
+      handled += f.get();
+    }
+  }
+  EXPECT_EQ(handled, accepted.load());
 }
 
 // ---------------------------------------------------------------------------
@@ -268,6 +333,85 @@ TEST(AdvisorServiceTest, InvalidEventsAreRefusedWithoutStateDamage) {
   EXPECT_DOUBLE_EQ(after.objective, before.objective);
   // Refused events still count as handled (they went through the loop).
   EXPECT_EQ(after.events_handled, before.events_handled + 3);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-worker service: the PR-8 serial repair-quality assertions must
+// survive the sharded loop (dispatcher + per-machine lanes) verbatim.
+// ---------------------------------------------------------------------------
+
+ServiceOptions TwoMachineOptions(int workers) {
+  ServiceOptions options;
+  options.saturation_threshold = std::numeric_limits<double>::infinity();
+  options.workers = workers;
+  return options;
+}
+
+std::vector<FleetMachine> TwoMachines() {
+  scenario::Testbed& tb = TB();
+  return std::vector<FleetMachine>(
+      2, FleetMachine{tb.machine(), &tb.pg_calibration(),
+                      &tb.db2_calibration()});
+}
+
+TEST(AdvisorServiceMultiWorkerTest, NoOpDriftBitIdenticalUnderShardedLoop) {
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    AdvisorService service(TwoMachines(), TwoMachineOptions(workers));
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(service.SubmitArrival(ServiceTenant(i)).get().ok);
+    }
+    FleetSnapshot before = service.Snapshot();
+
+    EventOutcome out =
+        service.SubmitDrift(1, ServiceTenant(1).workload).get();
+    ASSERT_TRUE(out.ok) << out.error;
+
+    FleetSnapshot after = service.Snapshot();
+    ASSERT_EQ(after.allocations.size(), before.allocations.size());
+    EXPECT_EQ(after.assignment, before.assignment);
+    for (size_t i = 0; i < before.allocations.size(); ++i) {
+      EXPECT_EQ(after.allocations[i], before.allocations[i]) << i;
+      EXPECT_DOUBLE_EQ(after.estimated_seconds[i],
+                       before.estimated_seconds[i])
+          << i;
+    }
+    EXPECT_DOUBLE_EQ(after.objective, before.objective);
+    EXPECT_EQ(after.violated_qos, before.violated_qos);
+  }
+}
+
+TEST(AdvisorServiceMultiWorkerTest, DepartureRedistributesUnderShardedLoop) {
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    AdvisorService service(TwoMachines(), TwoMachineOptions(workers));
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(service.SubmitArrival(ServiceTenant(i)).get().ok);
+    }
+    FleetSnapshot before = service.Snapshot();
+    EventOutcome out = service.SubmitDeparture(0).get();
+    ASSERT_TRUE(out.ok) << out.error;
+    FleetSnapshot after = service.Snapshot();
+
+    EXPECT_EQ(after.assignment[0], -1);
+    EXPECT_EQ(after.active_tenants, 3);
+    // The departed tenant's machine-mates absorb the freed share: no
+    // survivor of that machine ends worse than its pre-departure cost;
+    // tenants on OTHER machines are untouched bit-identically (lanes are
+    // machine-local).
+    for (size_t id = 1; id < 4; ++id) {
+      if (before.assignment[id] == out.machine) {
+        EXPECT_LE(after.estimated_seconds[id],
+                  before.estimated_seconds[id] + 1e-9)
+            << id;
+      } else {
+        EXPECT_EQ(after.allocations[id], before.allocations[id]) << id;
+        EXPECT_DOUBLE_EQ(after.estimated_seconds[id],
+                         before.estimated_seconds[id])
+            << id;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // serve concurrent readers safely.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -172,6 +173,70 @@ TEST_F(VectorizedProbeTest, ConcurrentReadersAndWritersAreSafe) {
   // Observation logs hold each distinct probe exactly once regardless of
   // which thread won the insert race.
   for (int t = 0; t < shared.num_tenants(); ++t) {
+    EXPECT_EQ(shared.observations(t).size(), reference.observations(t).size())
+        << "tenant " << t;
+  }
+}
+
+TEST_F(VectorizedProbeTest, InvalidateTenantIsSafeUnderDisjointReaders) {
+  // The sharded-service contract (AdvisorService drift repair):
+  // InvalidateTenant(t) may run concurrently with estimation of tenants
+  // != t. Readers hammer tenants 0 and 1 while a writer repeatedly
+  // invalidates and re-primes tenant 2; every reader result must be
+  // bit-identical to a quiescent run — invalidation of a DISJOINT tenant
+  // can cost recomputation, never a different answer.
+  std::vector<TenantAllocation> frontier;
+  for (const TenantAllocation& item : Frontier()) {
+    if (item.tenant != 2) frontier.push_back(item);
+  }
+  WhatIfCostEstimator reference = MakeEstimator(/*vectorized=*/true);
+  std::vector<double> want = reference.EstimateMany(frontier);
+
+  WhatIfCostEstimator shared = MakeEstimator(/*vectorized=*/true);
+  constexpr int kReaders = 3;
+  constexpr int kRounds = 8;
+  std::vector<std::vector<std::vector<double>>> got(kReaders);
+  {
+    std::vector<std::thread> threads;
+    std::atomic<bool> stop{false};
+    threads.emplace_back([&] {
+      // Writer: estimate tenant 2 (fills its cache/observations), then
+      // invalidate it, in a tight loop until every reader finished.
+      const simvm::ResourceVector probe{0.5, 0.5, 0.5, 0.5};
+      while (!stop.load()) {
+        shared.EstimateSeconds(2, probe);
+        shared.InvalidateTenant(2);
+      }
+    });
+    std::vector<std::thread> readers;
+    for (int w = 0; w < kReaders; ++w) {
+      readers.emplace_back([&, w] {
+        for (int round = 0; round < kRounds; ++round) {
+          got[static_cast<size_t>(w)].push_back(
+              shared.EstimateMany(frontier));
+        }
+      });
+    }
+    for (std::thread& t : readers) t.join();
+    stop.store(true);
+    threads.front().join();
+  }
+  for (int w = 0; w < kReaders; ++w) {
+    ASSERT_EQ(got[static_cast<size_t>(w)].size(),
+              static_cast<size_t>(kRounds));
+    for (int round = 0; round < kRounds; ++round) {
+      const std::vector<double>& run =
+          got[static_cast<size_t>(w)][static_cast<size_t>(round)];
+      ASSERT_EQ(run.size(), want.size()) << w;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(run[i], want[i])
+            << "reader " << w << " round " << round << " probe " << i;
+      }
+    }
+  }
+  // Tenants 0/1 kept their full observation logs; tenant 2's ends empty
+  // or freshly re-primed, never corrupted.
+  for (int t : {0, 1}) {
     EXPECT_EQ(shared.observations(t).size(), reference.observations(t).size())
         << "tenant " << t;
   }
